@@ -1,0 +1,53 @@
+// Ablation H — battery model fidelity inside the control window.
+//
+// The controller's window uses a linear charge balance by default (the
+// plant always applies the full Peukert/IR model); with
+// `nonlinear_battery` the window also models the rate-capacity effect, so
+// the optimizer *sees* that high-power intervals drain super-linearly.
+// This quantifies how much controller-model fidelity matters — the
+// receding horizon already absorbs most of the mismatch.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/simulation.hpp"
+
+int main() {
+  using namespace evc;
+  const core::EvParams params;
+  const auto profile = drive::make_cycle_profile(
+      drive::StandardCycle::kEceEudc, bench::kDefaultAmbientC);
+  core::ClimateSimulation sim(params);
+  core::SimulationOptions opts;
+  opts.record_traces = false;
+
+  TextTable table({"window battery model", "avg HVAC [kW]",
+                   "dSoH [%/cycle]", "SoC dev [%]", "final SoC [%]",
+                   "sim time [s]"});
+  for (bool nonlinear : {false, true}) {
+    std::cerr << "  " << (nonlinear ? "Peukert" : "linear") << "...\n";
+    core::MpcOptions mpc_opts;
+    mpc_opts.nonlinear_battery = nonlinear;
+    auto mpc = core::make_mpc_controller(params, mpc_opts);
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = sim.run(*mpc, profile, opts);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const auto& m = result.metrics;
+    table.add_row({nonlinear ? "Peukert (rate-capacity)" : "linear (default)",
+                   TextTable::num(m.avg_hvac_power_w / 1000.0, 5),
+                   TextTable::num(m.delta_soh_percent, 8),
+                   TextTable::num(m.stress.soc_deviation, 3),
+                   TextTable::num(m.final_soc_percent, 4),
+                   TextTable::num(secs, 1)});
+  }
+  std::cout << table.render(
+      "Ablation H — linear vs Peukert battery model in the MPC window, "
+      "ECE_EUDC @ 35 C");
+  std::cout << "\nExpected shape: small differences — the plant applies the "
+               "full model either\nway and the receding horizon absorbs the "
+               "controller's model error.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation D — HVAC-side vs storage-side SoC smoothing.
+//
+// The paper flattens the battery's SoC trajectory by *controlling the HVAC*
+// (demand side); its reference [3] flattens it with a *hybrid energy
+// storage system* (supply side: ultracapacitor absorbs transients). This
+// ablation runs the 2×2 grid {battery-only, HESS} × {On/Off, MPC} on
+// ECE_EUDC @ 35 °C and shows the two mechanisms are complementary: the
+// HESS removes the fast motor transients the HVAC cannot chase, the MPC
+// removes the sustained HVAC load the ultracapacitor is too small to carry.
+#include <iostream>
+#include <memory>
+
+#include "battery/hess.hpp"
+#include "bench_common.hpp"
+#include "core/simulation.hpp"
+#include "hvac/hvac_plant.hpp"
+#include "powertrain/power_train.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace evc;
+
+struct GridResult {
+  double avg_hvac_kw = 0.0;
+  double delta_soh = 0.0;
+  double soc_dev = 0.0;
+};
+
+/// Closed loop like Algorithm 1, but with a pluggable storage backend.
+GridResult run_with_storage(const core::EvParams& params,
+                            const drive::DriveProfile& profile,
+                            ctl::ClimateController& controller,
+                            bool use_hess) {
+  pt::PowerTrain power_train(params.vehicle);
+  hvac::HvacPlant plant(params.hvac, params.hvac.target_temp_c);
+  bat::Bms bms(params.battery, params.bms, 90.0);
+  std::unique_ptr<bat::Hess> hess;
+  if (use_hess)
+    hess = std::make_unique<bat::Hess>(params.battery, params.bms,
+                                       bat::UltracapParams{},
+                                       bat::HessPolicy{}, 90.0);
+
+  controller.reset();
+  std::vector<double> motor(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i)
+    motor[i] = power_train.power(profile[i]).electrical_power_w;
+
+  const double dt = profile.dt();
+  double hvac_acc = 0.0;
+  for (std::size_t t = 0; t < profile.size(); ++t) {
+    ctl::ControlContext c;
+    c.time_s = static_cast<double>(t) * dt;
+    c.dt_s = dt;
+    c.cabin_temp_c = plant.cabin_temp_c();
+    c.outside_temp_c = profile[t].ambient_c;
+    c.soc_percent = use_hess ? hess->battery_soc_percent() : bms.soc_percent();
+    c.motor_power_forecast_w.assign(120, 0.0);
+    c.outside_temp_forecast_c.assign(120, profile[t].ambient_c);
+    for (std::size_t j = 0; j < 120; ++j)
+      c.motor_power_forecast_w[j] =
+          motor[std::min(t + j, profile.size() - 1)];
+
+    const auto hvac_step =
+        plant.step(controller.decide(c), profile[t].ambient_c, dt);
+    hvac_acc += hvac_step.power.total();
+    const double total = motor[t] + hvac_step.power.total() +
+                         params.vehicle.accessory_power_w;
+    if (use_hess)
+      hess->apply_power(total, dt);
+    else
+      bms.apply_power(total, dt);
+  }
+
+  GridResult r;
+  r.avg_hvac_kw = hvac_acc / static_cast<double>(profile.size()) / 1000.0;
+  r.delta_soh = use_hess ? hess->cycle_delta_soh() : bms.cycle_delta_soh();
+  r.soc_dev = (use_hess ? hess->cycle_stress() : bms.cycle_stress())
+                  .soc_deviation;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const evc::core::EvParams params;
+  const auto profile = evc::drive::make_cycle_profile(
+      evc::drive::StandardCycle::kEceEudc, evc::bench::kDefaultAmbientC);
+
+  evc::TextTable table({"storage", "controller", "avg HVAC [kW]",
+                        "SoC dev [%]", "dSoH [%/cycle]"});
+  for (bool use_hess : {false, true}) {
+    for (int which = 0; which < 2; ++which) {
+      std::unique_ptr<evc::ctl::ClimateController> controller =
+          which == 0 ? evc::core::make_onoff_controller(params)
+                     : std::unique_ptr<evc::ctl::ClimateController>(
+                           evc::core::make_mpc_controller(params));
+      std::cerr << "  " << (use_hess ? "HESS" : "battery") << " + "
+                << controller->name() << "...\n";
+      const GridResult r =
+          run_with_storage(params, profile, *controller, use_hess);
+      table.add_row({use_hess ? "battery+ultracap" : "battery only",
+                     controller->name(),
+                     evc::TextTable::num(r.avg_hvac_kw, 3),
+                     evc::TextTable::num(r.soc_dev, 3),
+                     evc::TextTable::num(r.delta_soh, 6)});
+    }
+  }
+  std::cout << table.render(
+      "Ablation D — storage-side (HESS [3]) vs demand-side (our MPC) SoC "
+      "smoothing, ECE_EUDC @ 35 C");
+  std::cout << "\nExpected shape: each mechanism alone improves dSoH; the "
+               "combination is best.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation G — the equivalent-dry-air-temperature simplification (§II-C).
+//
+// The paper folds humidity into an equivalent dry-air temperature and never
+// charges the cooling coil for condensation. This bench runs the fuzzy
+// controller against the *moist* plant on ECE_EUDC at 35 °C for a range of
+// outside relative humidities and reports the latent share of the cooling
+// power — the error budget of the paper's dry-air assumption.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "control/fuzzy_controller.hpp"
+#include "core/simulation.hpp"
+#include "hvac/moist_plant.hpp"
+#include "powertrain/power_train.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace evc;
+  const core::EvParams params;
+  const auto profile = drive::make_cycle_profile(
+      drive::StandardCycle::kEceEudc, bench::kDefaultAmbientC);
+
+  TextTable table({"outside RH [%]", "dry power [kW]", "latent power [kW]",
+                   "total [kW]", "latent share [%]", "cabin RH end [%]"});
+
+  for (double rh : {0.2, 0.4, 0.6, 0.8}) {
+    std::cerr << "  RH " << rh * 100 << "%...\n";
+    hvac::MoistHvacPlant plant(params.hvac, hvac::MoistureParams{},
+                               params.hvac.target_temp_c, 0.5);
+    ctl::FuzzyController controller(params.hvac);
+    double dry_acc = 0.0, latent_acc = 0.0, cabin_rh = 0.0;
+    for (std::size_t t = 0; t < profile.size(); ++t) {
+      ctl::ControlContext c;
+      c.time_s = static_cast<double>(t);
+      c.dt_s = profile.dt();
+      c.cabin_temp_c = plant.cabin_temp_c();
+      c.outside_temp_c = profile[t].ambient_c;
+      const auto step = plant.step(controller.decide(c),
+                                   profile[t].ambient_c, rh, profile.dt());
+      dry_acc += step.dry.power.total();
+      latent_acc += step.latent_cooler_w;
+      cabin_rh = step.moisture.cabin_relative_humidity;
+    }
+    const double n = static_cast<double>(profile.size());
+    const double dry_kw = dry_acc / n / 1000.0;
+    const double latent_kw = latent_acc / n / 1000.0;
+    table.add_row({TextTable::num(rh * 100, 0), TextTable::num(dry_kw, 3),
+                   TextTable::num(latent_kw, 3),
+                   TextTable::num(dry_kw + latent_kw, 3),
+                   TextTable::num(100.0 * latent_kw / (dry_kw + latent_kw), 1),
+                   TextTable::num(100.0 * cabin_rh, 1)});
+  }
+
+  std::cout << table.render(
+      "Ablation G — latent (dehumidification) share of cooling power, "
+      "fuzzy controller, ECE_EUDC @ 35 C");
+  std::cout << "\nThe paper's dry-air model is exact at low humidity and "
+               "underestimates the\ncooling power by the latent share in "
+               "humid climates.\n";
+  return 0;
+}

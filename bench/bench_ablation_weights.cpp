@@ -1,0 +1,65 @@
+// Ablation B — cost-function weights (Eq. 21). Turning the SoC-deviation
+// term (w2) off isolates *why* the controller improves battery lifetime:
+// with w2 = 0 the MPC is merely an energy-optimal climate controller; the
+// ΔSoH gap between w2 = 0 and the default is the battery-awareness payoff.
+// Sweeping w1 (power weight) shows the comfort/power trade-off.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/simulation.hpp"
+
+int main() {
+  using namespace evc;
+  const core::EvParams params;
+  const auto profile = drive::make_cycle_profile(
+      drive::StandardCycle::kEceEudc, bench::kDefaultAmbientC);
+  core::ClimateSimulation sim(params);
+  core::SimulationOptions opts;
+  opts.record_traces = false;
+
+  struct Variant {
+    std::string label;
+    core::MpcWeights weights;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v{"default (w1=0.02, w2=2, w3=0.3)", core::MpcWeights{}};
+    variants.push_back(v);
+    v.label = "no SoC-deviation term (w2=0)";
+    v.weights = core::MpcWeights{};
+    v.weights.soc_deviation = 0.0;
+    variants.push_back(v);
+    v.label = "strong SoC-deviation (w2=10)";
+    v.weights = core::MpcWeights{};
+    v.weights.soc_deviation = 10.0;
+    variants.push_back(v);
+    v.label = "no power term (w1=0)";
+    v.weights = core::MpcWeights{};
+    v.weights.power = 0.0;
+    variants.push_back(v);
+    v.label = "strong comfort (w3=3)";
+    v.weights = core::MpcWeights{};
+    v.weights.comfort = 3.0;
+    variants.push_back(v);
+  }
+
+  TextTable table({"cost variant", "avg HVAC [kW]", "dSoH [%/cycle]",
+                   "SoC dev [%]", "rms Tz err [C]"});
+  for (const auto& variant : variants) {
+    std::cerr << "  " << variant.label << "...\n";
+    core::MpcOptions mpc_opts;
+    mpc_opts.weights = variant.weights;
+    auto mpc = core::make_mpc_controller(params, mpc_opts);
+    const auto result = sim.run(*mpc, profile, opts);
+    const auto& m = result.metrics;
+    table.add_row({variant.label,
+                   TextTable::num(m.avg_hvac_power_w / 1000.0, 3),
+                   TextTable::num(m.delta_soh_percent, 6),
+                   TextTable::num(m.stress.soc_deviation, 3),
+                   TextTable::num(m.comfort.rms_error_c, 3)});
+  }
+
+  std::cout << table.render(
+      "Ablation B — Eq. 21 weight variants, ECE_EUDC @ 35 C");
+  return 0;
+}

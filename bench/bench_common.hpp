@@ -1,0 +1,62 @@
+// Shared helpers for the figure/table regeneration harness.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation (§IV): it runs the same closed-loop co-simulation the paper
+// ran (On/Off [8,9] vs fuzzy [10] vs our battery lifetime-aware MPC on
+// standard driving cycles) and prints the rows/series of that exhibit.
+// Absolute numbers come from our simulator rather than the authors'
+// MATLAB/AMESim testbed; the reproduction target is the *shape* (ordering,
+// rough factors, crossovers). EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "drivecycle/standard_cycles.hpp"
+#include "util/table.hpp"
+
+namespace evc::bench {
+
+/// Ambient temperature used for the cross-cycle comparisons (Fig. 5–8).
+/// The paper fixes "the same ambient temperature, comfort zone, and target
+/// temperature for all methodologies"; we use a hot summer day.
+inline constexpr double kDefaultAmbientC = 35.0;
+
+/// Controller-name constants in the paper's column order.
+inline const char* kOnOff = "On/Off [8,9]";
+inline const char* kFuzzy = "Fuzzy-based [10]";
+inline const char* kOurs = "Our Battery Lifetime-aware";
+
+struct CycleComparison {
+  drive::StandardCycle cycle;
+  std::string cycle_name;
+  core::TripMetrics onoff;
+  core::TripMetrics fuzzy;
+  core::TripMetrics mpc;
+};
+
+/// Run the three methodologies over one cycle at `ambient_c`.
+inline CycleComparison run_cycle_comparison(drive::StandardCycle cycle,
+                                            double ambient_c) {
+  const core::EvParams params;
+  const auto profile = drive::make_cycle_profile(cycle, ambient_c);
+  core::SimulationOptions opts;
+  opts.record_traces = false;
+  const auto runs = core::compare_controllers(params, profile, opts);
+  return CycleComparison{cycle, drive::cycle_name(cycle), runs[0].metrics,
+                         runs[1].metrics, runs[2].metrics};
+}
+
+/// Run all five cycles of Fig. 7/8.
+inline std::vector<CycleComparison> run_all_cycles(double ambient_c) {
+  std::vector<CycleComparison> out;
+  for (auto cycle : drive::all_standard_cycles()) {
+    std::cerr << "  running " << drive::cycle_name(cycle) << "...\n";
+    out.push_back(run_cycle_comparison(cycle, ambient_c));
+  }
+  return out;
+}
+
+}  // namespace evc::bench

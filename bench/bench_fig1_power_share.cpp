@@ -1,0 +1,68 @@
+// Fig. 1 — Percentages of three types of power consumption in an EV and an
+// ICE vehicle for different ambient temperatures (the motivational study).
+//
+// The paper reads these shares off published Tesla Model S / Toyota Corolla
+// data; offline we regenerate them from our EV model (fuzzy-controlled
+// HVAC, the typical production behaviour) and the analytic ICE comparison
+// vehicle, over an urban UDDS trip at each ambient temperature.
+//
+// Reproduction target: HVAC share in the EV is large and roughly symmetric
+// in hot and cold (the electric motor wastes no heat), while the ICE
+// vehicle heats almost for free and only pays for A/C — and the EV's HVAC
+// share exceeds the ICE vehicle's at every extreme.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/ice_model.hpp"
+#include "core/simulation.hpp"
+
+int main() {
+  using namespace evc;
+  const std::vector<double> ambients{-10, 0, 10, 21, 32, 43};
+
+  TextTable table({"ambient [C]", "EV motor [%]", "EV HVAC [%]",
+                   "EV acc [%]", "ICE engine [%]", "ICE HVAC [%]",
+                   "ICE acc [%]"});
+
+  for (double ambient : ambients) {
+    std::cerr << "  ambient " << ambient << " C...\n";
+    const auto profile =
+        drive::make_cycle_profile(drive::StandardCycle::kUdds, ambient);
+
+    // EV shares from the closed-loop simulation with the fuzzy controller.
+    const core::EvParams params;
+    core::ClimateSimulation sim(params);
+    auto ctl = core::make_fuzzy_controller(params);
+    core::SimulationOptions opts;
+    opts.record_traces = false;
+    const auto result = sim.run(*ctl, profile, opts);
+    const auto& m = result.metrics;
+    // Motor share counts the net traction draw; accessories are fixed.
+    const double ev_motor = m.avg_motor_power_w;
+    const double ev_hvac = m.avg_hvac_power_w;
+    const double ev_acc = params.vehicle.accessory_power_w;
+    const double ev_total = ev_motor + ev_hvac + ev_acc;
+
+    // ICE shares from the analytic comparison vehicle.
+    const core::IceVehicleModel ice;
+    const core::PowerShare ice_share = ice.average_power_share(profile);
+
+    table.add_row({TextTable::num(ambient, 0),
+                   TextTable::percent(100.0 * ev_motor / ev_total, 1),
+                   TextTable::percent(100.0 * ev_hvac / ev_total, 1),
+                   TextTable::percent(100.0 * ev_acc / ev_total, 1),
+                   TextTable::percent(100.0 * ice_share.propulsion_w /
+                                          ice_share.total(), 1),
+                   TextTable::percent(100.0 * ice_share.hvac_w /
+                                          ice_share.total(), 1),
+                   TextTable::percent(100.0 * ice_share.accessories_w /
+                                          ice_share.total(), 1)});
+  }
+
+  std::cout << table.render(
+      "Fig. 1 — EV vs ICE power share by ambient temperature (UDDS)");
+  std::cout << "\nPaper's qualitative claims: EV HVAC share up to ~20%+ and "
+               "symmetric hot/cold;\nICE HVAC share <= ~9%, heating nearly "
+               "free (engine waste heat).\n";
+  return 0;
+}

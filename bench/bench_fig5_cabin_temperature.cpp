@@ -1,0 +1,57 @@
+// Fig. 5 — Cabin temperature traces for the three controllers on the same
+// drive profile (ECE_EUDC, hot ambient, identical comfort settings).
+//
+// The paper's exhibit: On/Off oscillates across several degrees (left
+// axis), fuzzy holds the target within fractions of a degree, and the MPC
+// wiggles deliberately around the target as it trades cabin heat against
+// motor-power peaks (right axis).
+//
+// The bench writes the three traces to fig5_cabin_temperature.csv and
+// prints oscillation statistics per controller.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/simulation.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace evc;
+  const core::EvParams params;
+  const auto profile = drive::make_cycle_profile(
+      drive::StandardCycle::kEceEudc, bench::kDefaultAmbientC);
+  core::ClimateSimulation sim(params);
+
+  TextTable table({"controller", "mean Tz [C]", "min Tz [C]", "max Tz [C]",
+                   "oscillation [C]", "rms error [C]"});
+  sim::StateRecorder merged;
+
+  const auto run = [&](ctl::ClimateController& controller,
+                       const std::string& label) {
+    std::cerr << "  running " << label << "...\n";
+    const auto result = sim.run(controller, profile);
+    const auto& tz = result.recorder.values("cabin_temp_c");
+    const auto& t = result.recorder.times("cabin_temp_c");
+    for (std::size_t i = 0; i < tz.size(); ++i)
+      merged.record(label, t[i], tz[i]);
+    table.add_row({label, TextTable::num(mean_of(tz), 3),
+                   TextTable::num(min_of(tz), 3),
+                   TextTable::num(max_of(tz), 3),
+                   TextTable::num(max_of(tz) - min_of(tz), 3),
+                   TextTable::num(result.metrics.comfort.rms_error_c, 3)});
+  };
+
+  auto onoff = core::make_onoff_controller(params);
+  run(*onoff, bench::kOnOff);
+  auto fuzzy = core::make_fuzzy_controller(params);
+  run(*fuzzy, bench::kFuzzy);
+  auto mpc = core::make_mpc_controller(params);
+  run(*mpc, bench::kOurs);
+
+  merged.write_csv("fig5_cabin_temperature.csv");
+  std::cout << table.render(
+      "Fig. 5 — Cabin temperature regulation, ECE_EUDC @ 35 C (target 24 C)");
+  std::cout << "\nTraces written to fig5_cabin_temperature.csv.\n"
+            << "Paper's shape: On/Off oscillates across degrees; fuzzy and "
+               "MPC hold the target\nwithin fractions of a degree.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig. 6 — The precool mechanism: the MPC reduces HVAC power while the
+// electric motor consumes heavily, and precools the cabin (outside is
+// warmer) before predicted motor-power peaks.
+//
+// The bench runs the MPC on ECE_EUDC @ 35 C, writes the joint trace
+// (motor power, HVAC power, cabin temperature) to fig6_precool.csv, and
+// quantifies the mechanism with the correlation between motor power and
+// HVAC power: the paper's claim implies a clearly *negative* correlation
+// for the MPC, absent for the reactive baselines.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+double correlation(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  const double ma = evc::mean_of(a), mb = evc::mean_of(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  return num / std::sqrt(da * db + 1e-12);
+}
+
+}  // namespace
+
+int main() {
+  using namespace evc;
+  const core::EvParams params;
+  const auto profile = drive::make_cycle_profile(
+      drive::StandardCycle::kEceEudc, bench::kDefaultAmbientC);
+  core::ClimateSimulation sim(params);
+
+  TextTable table({"controller", "corr(motor, HVAC)", "corr(motor, dTz/dt)"});
+
+  const auto run = [&](ctl::ClimateController& controller,
+                       const std::string& label, bool dump) {
+    std::cerr << "  running " << label << "...\n";
+    const auto result = sim.run(controller, profile);
+    const auto& motor = result.recorder.values("motor_power_w");
+    const auto& hvac = result.recorder.values("hvac_power_w");
+    const auto& tz = result.recorder.values("cabin_temp_c");
+    std::vector<double> dtz(tz.size(), 0.0);
+    for (std::size_t i = 1; i < tz.size(); ++i) dtz[i] = tz[i] - tz[i - 1];
+    table.add_row({label, TextTable::num(correlation(motor, hvac), 3),
+                   TextTable::num(correlation(motor, dtz), 3)});
+    if (dump) {
+      sim::StateRecorder rec;
+      const auto& t = result.recorder.times("cabin_temp_c");
+      for (std::size_t i = 0; i < tz.size(); ++i) {
+        rec.record("motor_power_w", t[i], motor[i]);
+        rec.record("hvac_power_w", t[i], hvac[i]);
+        rec.record("cabin_temp_c", t[i], tz[i]);
+      }
+      rec.write_csv("fig6_precool.csv");
+    }
+  };
+
+  auto onoff = core::make_onoff_controller(params);
+  run(*onoff, bench::kOnOff, false);
+  auto fuzzy = core::make_fuzzy_controller(params);
+  run(*fuzzy, bench::kFuzzy, false);
+  auto mpc = core::make_mpc_controller(params);
+  run(*mpc, bench::kOurs, true);
+
+  std::cout << table.render(
+      "Fig. 6 — Precool mechanism, ECE_EUDC @ 35 C");
+  std::cout << "\nMPC trace written to fig6_precool.csv.\n"
+            << "Paper's shape: our controller shifts HVAC power away from "
+               "motor peaks\n(negative correlation); reactive baselines "
+               "show no such coupling.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark): per-call latency of the hot kernels
+// behind the figures — the dense QP solve, a full SQP solve of one MPC
+// window, a single MPC planning step, and the plant/battery models.
+//
+// These bound the controller's real-time budget: the paper's methodology
+// is only deployable if a plan completes well within the control period.
+#include <benchmark/benchmark.h>
+
+#include "battery/battery_pack.hpp"
+#include "core/mpc_controller.hpp"
+#include "hvac/hvac_plant.hpp"
+#include "optim/qp.hpp"
+#include "optim/sqp.hpp"
+#include "powertrain/power_train.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace evc;
+
+opt::QpProblem random_qp(std::size_t n, std::size_t mi, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  opt::QpProblem p;
+  num::Matrix g(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.uniform(-1, 1);
+  p.h = g.transposed() * g;
+  for (std::size_t i = 0; i < n; ++i) p.h(i, i) += 1.0;
+  p.g = num::Vector(n);
+  for (std::size_t i = 0; i < n; ++i) p.g[i] = rng.uniform(-2, 2);
+  p.e_mat = num::Matrix(0, n);
+  p.e_vec = num::Vector(0);
+  p.a_mat = num::Matrix(mi, n);
+  p.b_vec = num::Vector(mi);
+  for (std::size_t r = 0; r < mi; ++r) {
+    for (std::size_t c = 0; c < n; ++c) p.a_mat(r, c) = rng.uniform(-1, 1);
+    p.b_vec[r] = rng.uniform(0.5, 2.0);
+  }
+  return p;
+}
+
+void BM_QpSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = random_qp(n, 2 * n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::solve_qp(problem));
+  }
+}
+BENCHMARK(BM_QpSolve)->Arg(20)->Arg(60)->Arg(134);
+
+core::MpcFormulation make_window_formulation(std::size_t horizon) {
+  core::MpcWindowData w;
+  w.dt_s = 5.0;
+  w.initial_cabin_temp_c = 25.5;
+  w.initial_soc_percent = 88.0;
+  w.fixed_power_kw.assign(horizon, 9.0);
+  w.outside_temp_c.assign(horizon, 35.0);
+  return core::MpcFormulation(hvac::default_hvac_params(),
+                              bat::leaf_24kwh_params(), core::MpcWeights{},
+                              w);
+}
+
+void BM_SqpMpcWindow(benchmark::State& state) {
+  const auto horizon = static_cast<std::size_t>(state.range(0));
+  const auto f = make_window_formulation(horizon);
+  core::MpcOptions opts;
+  const opt::SqpSolver solver(opts.sqp);
+  const num::Vector z0 = f.cold_start();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(f, z0));
+  }
+}
+BENCHMARK(BM_SqpMpcWindow)->Arg(4)->Arg(8)->Arg(12)->Unit(
+    benchmark::kMillisecond);
+
+void BM_MpcPlanStep(benchmark::State& state) {
+  core::MpcClimateController mpc(hvac::default_hvac_params(),
+                                 bat::leaf_24kwh_params());
+  ctl::ControlContext c;
+  c.dt_s = 1.0;
+  c.cabin_temp_c = 25.0;
+  c.outside_temp_c = 35.0;
+  c.soc_percent = 88.0;
+  c.motor_power_forecast_w.assign(120, 9e3);
+  c.outside_temp_forecast_c.assign(120, 35.0);
+  for (auto _ : state) {
+    mpc.reset();  // force a fresh (cold-start) plan each call
+    benchmark::DoNotOptimize(mpc.decide(c));
+  }
+}
+BENCHMARK(BM_MpcPlanStep)->Unit(benchmark::kMillisecond);
+
+void BM_HvacPlantStep(benchmark::State& state) {
+  hvac::HvacPlant plant(hvac::default_hvac_params(), 25.0);
+  hvac::HvacInputs in;
+  in.air_flow_kg_s = 0.15;
+  in.recirculation = 0.5;
+  in.coil_temp_c = 8.0;
+  in.supply_temp_c = 8.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plant.step(in, 35.0, 1.0));
+  }
+}
+BENCHMARK(BM_HvacPlantStep);
+
+void BM_PowerTrainEval(benchmark::State& state) {
+  pt::PowerTrain ptm(pt::nissan_leaf_params());
+  drive::DriveSample s;
+  s.speed_mps = 18.0;
+  s.accel_mps2 = 0.7;
+  s.slope_percent = 1.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ptm.power(s));
+  }
+}
+BENCHMARK(BM_PowerTrainEval);
+
+void BM_BatteryPackStep(benchmark::State& state) {
+  bat::BatteryPack pack(bat::leaf_24kwh_params(), 90.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack.step(12e3, 1.0));
+    if (pack.soc_percent() < 10.0) pack.reset(90.0);
+  }
+}
+BENCHMARK(BM_BatteryPackStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+// Robustness study — sensor noise and forecast error.
+//
+// The paper assumes a perfect cabin-temperature measurement and a perfect
+// motor-power forecast from the route (§II-A: GPS route knowledge). This
+// bench perturbs both and measures how gracefully each methodology
+// degrades on ECE_EUDC @ 35 °C:
+//   * cabin sensor: additive Gaussian noise, fed raw or through the
+//     Kalman cabin estimator (sim/kalman),
+//   * forecast: multiplicative Gaussian error on the predicted motor power.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/simulation.hpp"
+#include "hvac/hvac_plant.hpp"
+#include "powertrain/power_train.hpp"
+#include "sim/kalman.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace evc;
+
+struct NoisyRun {
+  double avg_hvac_kw = 0.0;
+  double delta_soh = 0.0;
+  double rms_temp_err = 0.0;
+};
+
+NoisyRun run_noisy(const core::EvParams& params,
+                   const drive::DriveProfile& profile,
+                   ctl::ClimateController& controller, double sensor_sigma,
+                   double forecast_sigma, bool use_estimator,
+                   std::uint64_t seed) {
+  pt::PowerTrain power_train(params.vehicle);
+  hvac::HvacPlant plant(params.hvac, params.hvac.target_temp_c);
+  bat::Bms bms(params.battery, params.bms, 90.0);
+  controller.reset();
+  SplitMix64 rng(seed);
+
+  std::vector<double> motor(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i)
+    motor[i] = power_train.power(profile[i]).electrical_power_w;
+
+  const double dt = profile.dt();
+  sim::CabinTempEstimator estimator(params.hvac.target_temp_c, 1e-3,
+                                    sensor_sigma * sensor_sigma + 1e-6);
+  hvac::HvacInputs last_inputs;
+  bool have_inputs = false;
+
+  double hvac_acc = 0.0;
+  RunningStats temp_err;
+  for (std::size_t t = 0; t < profile.size(); ++t) {
+    const double truth = plant.cabin_temp_c();
+    const double measured = truth + rng.normal(0.0, sensor_sigma);
+
+    double believed = measured;
+    if (use_estimator) {
+      // Propagate the estimate through the exact cabin model with the
+      // previously applied inputs, then fuse the noisy sensor.
+      double predicted = estimator.estimate();
+      double decay = 1.0;
+      if (have_inputs) {
+        const auto& p = params.hvac;
+        const double rate =
+            (p.wall_ua_w_per_k + last_inputs.air_flow_kg_s * p.air_cp) /
+            p.cabin_capacitance_j_per_k;
+        decay = std::exp(-rate * dt);
+        predicted = plant.cabin_model().step_exact(
+            estimator.estimate(), last_inputs.supply_temp_c,
+            last_inputs.air_flow_kg_s, profile[t].ambient_c, dt);
+      }
+      estimator.step(predicted, decay, measured);
+      believed = estimator.estimate();
+    }
+    temp_err.add(std::abs(believed - truth));
+
+    ctl::ControlContext c;
+    c.time_s = static_cast<double>(t) * dt;
+    c.dt_s = dt;
+    c.cabin_temp_c = believed;
+    c.outside_temp_c = profile[t].ambient_c;
+    c.soc_percent = bms.soc_percent();
+    c.motor_power_forecast_w.assign(120, 0.0);
+    c.outside_temp_forecast_c.assign(120, profile[t].ambient_c);
+    for (std::size_t j = 0; j < 120; ++j) {
+      const double p = motor[std::min(t + j, profile.size() - 1)];
+      c.motor_power_forecast_w[j] =
+          p * (1.0 + rng.normal(0.0, forecast_sigma));
+    }
+
+    last_inputs = controller.decide(c);
+    have_inputs = true;
+    const auto hvac_step = plant.step(last_inputs, profile[t].ambient_c, dt);
+    last_inputs = hvac_step.applied;
+    hvac_acc += hvac_step.power.total();
+    bms.apply_power(motor[t] + hvac_step.power.total() +
+                        params.vehicle.accessory_power_w,
+                    dt);
+  }
+
+  NoisyRun out;
+  out.avg_hvac_kw = hvac_acc / static_cast<double>(profile.size()) / 1000.0;
+  out.delta_soh = bms.cycle_delta_soh();
+  out.rms_temp_err = temp_err.mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const evc::core::EvParams params;
+  const auto profile = evc::drive::make_cycle_profile(
+      evc::drive::StandardCycle::kEceEudc, evc::bench::kDefaultAmbientC);
+
+  evc::TextTable table({"scenario", "avg HVAC [kW]", "dSoH [%/cycle]",
+                        "mean |Tz error| [C]"});
+  struct Scenario {
+    const char* label;
+    double sensor_sigma;
+    double forecast_sigma;
+    bool estimator;
+  };
+  const Scenario scenarios[] = {
+      {"ideal (paper's assumption)", 0.0, 0.0, false},
+      {"sensor noise 0.5 C, raw", 0.5, 0.0, false},
+      {"sensor noise 0.5 C, Kalman", 0.5, 0.0, true},
+      {"forecast error 30%", 0.0, 0.3, false},
+      {"both, Kalman", 0.5, 0.3, true},
+  };
+
+  for (const Scenario& s : scenarios) {
+    std::cerr << "  " << s.label << "...\n";
+    auto mpc = evc::core::make_mpc_controller(params);
+    const NoisyRun r = run_noisy(params, profile, *mpc, s.sensor_sigma,
+                                 s.forecast_sigma, s.estimator, 99);
+    table.add_row({s.label, evc::TextTable::num(r.avg_hvac_kw, 3),
+                   evc::TextTable::num(r.delta_soh, 6),
+                   evc::TextTable::num(r.rms_temp_err, 3)});
+  }
+
+  std::cout << table.render(
+      "Robustness — MPC under sensor noise / forecast error, ECE_EUDC @ 35 C");
+  std::cout << "\nExpected shape: raw sensor noise chops up the plans; the "
+               "Kalman estimator\nrecovers most of the ideal performance; "
+               "moderate forecast error costs little\n(the receding horizon "
+               "replans every 5 s).\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table I — HVAC power consumption and SoH-degradation improvement for
+// different ambient temperatures (43, 35, 32, 21, 10, 0 °C) on ECE_EUDC.
+//
+// Paper's shape: HVAC power is lowest for our methodology at every
+// ambient; the SoH improvement grows with the HVAC load and peaks in the
+// extreme cold (up to ~36 % vs fuzzy at 0 °C in the paper).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace evc;
+  const std::vector<double> ambients{43, 35, 32, 21, 10, 0};
+
+  TextTable table({"ambient [C]", std::string(bench::kOnOff) + " [kW]",
+                   std::string(bench::kFuzzy) + " [kW]",
+                   std::string(bench::kOurs) + " [kW]",
+                   "dSoH impr vs On/Off [%]", "dSoH impr vs Fuzzy [%]"});
+
+  for (double ambient : ambients) {
+    std::cerr << "  ambient " << ambient << " C...\n";
+    const auto c =
+        bench::run_cycle_comparison(drive::StandardCycle::kEceEudc, ambient);
+    table.add_row(
+        {TextTable::num(ambient, 0),
+         TextTable::num(c.onoff.avg_hvac_power_w / 1000.0, 2),
+         TextTable::num(c.fuzzy.avg_hvac_power_w / 1000.0, 2),
+         TextTable::num(c.mpc.avg_hvac_power_w / 1000.0, 2),
+         TextTable::num(core::improvement_percent(c.onoff.delta_soh_percent,
+                                                  c.mpc.delta_soh_percent),
+                        2),
+         TextTable::num(core::improvement_percent(c.fuzzy.delta_soh_percent,
+                                                  c.mpc.delta_soh_percent),
+                        2)});
+  }
+
+  std::cout << table.render(
+      "Table I — HVAC power and dSoH improvement vs ambient (ECE_EUDC)");
+  std::cout << "\nPaper's shape: conditioning load (and our advantage) "
+               "grows toward both\ntemperature extremes; the largest dSoH "
+               "improvement is at 0 C.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Scenario example: a year of synthetic commutes.
+//
+// Uses the route/weather synthesizer (the offline stand-in for the paper's
+// Google-Maps + NOAA drive-profile pipeline) to generate a mixed
+// urban/highway commute under seasonal ambient temperatures, and projects
+// battery lifetime under each climate-control methodology: with one such
+// discharge cycle per day, how many *years* until the pack fades to 80 %?
+//
+//   ./commute_study [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "battery/soh_model.hpp"
+#include "core/experiment.hpp"
+#include "drivecycle/route_synth.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace evc;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  struct Season {
+    const char* name;
+    double ambient_c;
+    double days;  ///< days per year with this weather
+  };
+  const std::vector<Season> seasons{
+      {"winter", -2.0, 90},
+      {"spring", 15.0, 90},
+      {"summer", 34.0, 95},
+      {"autumn", 8.0, 90},
+  };
+
+  const core::EvParams params;
+  core::ClimateSimulation sim(params);
+  core::SimulationOptions opts;
+  opts.record_traces = false;
+
+  std::cout << "Synthetic commute: 35 min, 55% urban, rolling terrain "
+               "(seed "
+            << seed << ")\n";
+
+  // Accumulate per-controller yearly fade: Σ days_season · ΔSoH(season).
+  TextTable table({"controller", "winter dSoH", "summer dSoH",
+                   "yearly fade [%]", "years to 80%"});
+  std::vector<std::string> names;
+  std::vector<double> yearly(3, 0.0), winter(3), summer(3);
+
+  for (const Season& season : seasons) {
+    drive::RouteSynthOptions route;
+    route.seed = seed;
+    route.trip_duration_s = 35.0 * 60.0;
+    route.urban_fraction = 0.55;
+    route.hilliness_percent = 2.5;
+    route.base_ambient_c = season.ambient_c;
+    const auto profile = drive::synthesize_route(route);
+
+    std::cerr << "  season " << season.name << " (" << season.ambient_c
+              << " C)...\n";
+    const auto runs = core::compare_controllers(params, profile, opts);
+    names.clear();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      names.push_back(runs[i].controller);
+      yearly[i] += season.days * runs[i].metrics.delta_soh_percent;
+      if (std::string(season.name) == "winter")
+        winter[i] = runs[i].metrics.delta_soh_percent;
+      if (std::string(season.name) == "summer")
+        summer[i] = runs[i].metrics.delta_soh_percent;
+    }
+  }
+
+  const double eol = params.battery.end_of_life_fade_percent;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    table.add_row({names[i], TextTable::num(winter[i], 6),
+                   TextTable::num(summer[i], 6),
+                   TextTable::num(yearly[i], 3),
+                   TextTable::num(eol / yearly[i], 1)});
+  }
+  std::cout << table.render(
+      "Projected battery lifetime under daily commuting");
+  std::cout << "\nThe battery lifetime gap is the paper's headline: the "
+               "climate controller alone\nchanges how many years the pack "
+               "lasts.\n";
+  return 0;
+}

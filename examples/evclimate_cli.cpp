@@ -1,0 +1,220 @@
+// evclimate — command-line front end for the library.
+//
+//   evclimate_cli simulate --cycle ECE_EUDC --ambient 35 --controller mpc
+//                 [--soc 90] [--out trace.csv]
+//   evclimate_cli compare  --cycle UDDS --ambient 0
+//   evclimate_cli sweep    --cycle NEDC --controller fuzzy
+//                 --ambient-from -10 --ambient-to 43 --ambient-step 10
+//   evclimate_cli plan     --cycle US06 --ambient 38 [--soc 60]
+//   evclimate_cli synth    --seed 7 --duration 1800 --urban 0.5
+//                 --ambient 25 --out route.csv
+//
+// Every subcommand prints a table; `simulate`/`synth` can write CSV.
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/trip_planner.hpp"
+#include "drivecycle/profile_io.hpp"
+#include "drivecycle/route_synth.hpp"
+#include "drivecycle/standard_cycles.hpp"
+#include "util/args.hpp"
+#include "util/expect.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace evc;
+
+int usage(const std::string& program) {
+  std::cerr
+      << "usage: " << program
+      << " <simulate|compare|sweep|plan|synth> [--flags]\n"
+         "  simulate --cycle C --ambient T --controller onoff|fuzzy|mpc\n"
+         "           [--soc S] [--out trace.csv]\n"
+         "  compare  --cycle C --ambient T [--soc S]\n"
+         "  sweep    --cycle C --controller X --ambient-from A\n"
+         "           --ambient-to B [--ambient-step D]\n"
+         "  plan     --cycle C --ambient T [--soc S]\n"
+         "  synth    [--seed N] [--duration S] [--urban F] [--ambient T]\n"
+         "           [--hills P] --out route.csv\n"
+         "cycles: NEDC US06 ECE_EUDC SC03 UDDS\n";
+  return 2;
+}
+
+drive::StandardCycle parse_cycle(const std::string& name) {
+  for (auto cycle : drive::all_standard_cycles())
+    if (drive::cycle_name(cycle) == name) return cycle;
+  throw std::invalid_argument("unknown cycle '" + name +
+                              "' (try NEDC, US06, ECE_EUDC, SC03, UDDS)");
+}
+
+std::unique_ptr<ctl::ClimateController> parse_controller(
+    const std::string& name, const core::EvParams& params) {
+  if (name == "onoff") return core::make_onoff_controller(params);
+  if (name == "fuzzy") return core::make_fuzzy_controller(params);
+  if (name == "mpc") return core::make_mpc_controller(params);
+  throw std::invalid_argument("unknown controller '" + name +
+                              "' (onoff, fuzzy, mpc)");
+}
+
+void print_metrics_row(TextTable& table, const std::string& label,
+                       const core::TripMetrics& m) {
+  table.add_row({label, TextTable::num(m.avg_hvac_power_w / 1000.0, 3),
+                 TextTable::num(m.delta_soh_percent, 6),
+                 TextTable::num(m.stress.soc_deviation, 3),
+                 TextTable::num(m.final_soc_percent, 2),
+                 TextTable::num(m.estimated_range_km, 0),
+                 TextTable::num(100.0 * m.comfort.fraction_outside, 1)});
+}
+
+TextTable metrics_table() {
+  return TextTable({"run", "avg HVAC [kW]", "dSoH [%/cyc]", "SoC dev [%]",
+                    "final SoC [%]", "range [km]", "comfort viol [%]"});
+}
+
+int cmd_simulate(const ArgParser& args) {
+  args.reject_unknown({"cycle", "ambient", "controller", "soc", "out"});
+  const auto cycle = parse_cycle(args.get_string("cycle", "ECE_EUDC"));
+  const double ambient = args.get_double("ambient", 35.0);
+  const core::EvParams params;
+  auto controller =
+      parse_controller(args.get_string("controller", "mpc"), params);
+  const auto profile = drive::make_cycle_profile(cycle, ambient);
+
+  core::SimulationOptions opts;
+  opts.initial_soc_percent = args.get_double("soc", 90.0);
+  core::ClimateSimulation sim(params);
+  const auto result = sim.run(*controller, profile, opts);
+
+  TextTable table = metrics_table();
+  print_metrics_row(table, controller->name(), result.metrics);
+  std::cout << table.render("simulate " + drive::cycle_name(cycle) + " @ " +
+                            TextTable::num(ambient, 0) + " C");
+  const std::string out = args.get_string("out", "");
+  if (!out.empty()) {
+    result.recorder.write_csv(out);
+    std::cout << "trace written to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const ArgParser& args) {
+  args.reject_unknown({"cycle", "ambient", "soc"});
+  const auto cycle = parse_cycle(args.get_string("cycle", "ECE_EUDC"));
+  const double ambient = args.get_double("ambient", 35.0);
+  core::SimulationOptions opts;
+  opts.initial_soc_percent = args.get_double("soc", 90.0);
+  opts.record_traces = false;
+  const core::EvParams params;
+  const auto profile = drive::make_cycle_profile(cycle, ambient);
+  const auto runs = core::compare_controllers(params, profile, opts);
+  TextTable table = metrics_table();
+  for (const auto& run : runs)
+    print_metrics_row(table, run.controller, run.metrics);
+  std::cout << table.render("compare " + drive::cycle_name(cycle) + " @ " +
+                            TextTable::num(ambient, 0) + " C");
+  return 0;
+}
+
+int cmd_sweep(const ArgParser& args) {
+  args.reject_unknown({"cycle", "controller", "ambient-from", "ambient-to",
+                       "ambient-step", "soc"});
+  const auto cycle = parse_cycle(args.get_string("cycle", "ECE_EUDC"));
+  const double from = args.get_double("ambient-from", 0.0);
+  const double to = args.get_double("ambient-to", 43.0);
+  const double step = args.get_double("ambient-step", 10.0);
+  EVC_EXPECT(step > 0.0 && to >= from, "bad ambient sweep range");
+  const core::EvParams params;
+  const std::string controller_name = args.get_string("controller", "mpc");
+
+  core::SimulationOptions opts;
+  opts.initial_soc_percent = args.get_double("soc", 90.0);
+  opts.record_traces = false;
+  core::ClimateSimulation sim(params);
+  TextTable table = metrics_table();
+  for (double ambient = from; ambient <= to + 1e-9; ambient += step) {
+    auto controller = parse_controller(controller_name, params);
+    const auto profile = drive::make_cycle_profile(cycle, ambient);
+    const auto result = sim.run(*controller, profile, opts);
+    print_metrics_row(table, TextTable::num(ambient, 0) + " C",
+                      result.metrics);
+  }
+  std::cout << table.render("sweep " + drive::cycle_name(cycle) + ", " +
+                            controller_name);
+  return 0;
+}
+
+int cmd_plan(const ArgParser& args) {
+  args.reject_unknown({"cycle", "ambient", "soc"});
+  const auto cycle = parse_cycle(args.get_string("cycle", "ECE_EUDC"));
+  const double ambient = args.get_double("ambient", 35.0);
+  const double soc = args.get_double("soc", 90.0);
+  const core::EvParams params;
+  core::TripPlanner planner(params);
+  const auto profile = drive::make_cycle_profile(cycle, ambient);
+  const double hvac = planner.steady_hvac_power_w(ambient);
+  const auto plan = planner.plan(profile, soc, hvac);
+
+  TextTable table({"quantity", "value"});
+  table.add_row({"distance [km]",
+                 TextTable::num(profile.total_distance_m() / 1000.0, 1)});
+  table.add_row({"steady HVAC estimate [kW]", TextTable::num(hvac / 1000.0, 2)});
+  table.add_row({"predicted energy [kWh]",
+                 TextTable::num(plan.predicted_energy_j / 3.6e6, 2)});
+  table.add_row({"predicted final SoC [%]",
+                 TextTable::num(plan.predicted_final_soc, 1)});
+  table.add_row({"predicted cycle-avg SoC [%]",
+                 TextTable::num(plan.predicted_cycle_avg_soc, 1)});
+  table.add_row({"trip reachable", plan.reachable ? "yes" : "NO"});
+  std::cout << table.render("plan " + drive::cycle_name(cycle) + " @ " +
+                            TextTable::num(ambient, 0) + " C, SoC " +
+                            TextTable::num(soc, 0) + "%");
+  return 0;
+}
+
+int cmd_synth(const ArgParser& args) {
+  args.reject_unknown(
+      {"seed", "duration", "urban", "ambient", "hills", "out"});
+  drive::RouteSynthOptions opts;
+  opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  opts.trip_duration_s = args.get_double("duration", 1800.0);
+  opts.urban_fraction = args.get_double("urban", 0.5);
+  opts.base_ambient_c = args.get_double("ambient", 25.0);
+  opts.hilliness_percent = args.get_double("hills", 2.0);
+  const auto profile = drive::synthesize_route(opts);
+  TextTable table({"quantity", "value"});
+  table.add_row({"samples", TextTable::num(profile.size(), 0)});
+  table.add_row({"distance [km]",
+                 TextTable::num(profile.total_distance_m() / 1000.0, 2)});
+  table.add_row({"max speed [km/h]",
+                 TextTable::num(profile.max_speed_mps() * 3.6, 1)});
+  std::cout << table.render("synthesized route (seed " +
+                            TextTable::num(opts.seed, 0) + ")");
+  const std::string out = args.get_string("out", "");
+  if (!out.empty()) {
+    drive::save_profile_csv(profile, out);
+    std::cout << "profile written to " << out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    if (args.positional().empty()) return usage(args.program());
+    const std::string command = args.positional()[0];
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "plan") return cmd_plan(args);
+    if (command == "synth") return cmd_synth(args);
+    return usage(args.program());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,85 @@
+// Scenario example: fleet-level battery lifetime statistics.
+//
+// Eight synthetic drivers (different commutes via the route synthesizer,
+// different traffic via the IDM follower) × summer/winter weather ×
+// {fuzzy, battery lifetime-aware MPC}. Aggregates the per-cycle ΔSoH into
+// a projected lifetime (cycle + calendar aging) per driver, and reports
+// the fleet mean and spread — the number a fleet operator actually buys
+// batteries by.
+//
+//   ./fleet_study [drivers]
+#include <cstdlib>
+#include <iostream>
+
+#include "battery/soh_model.hpp"
+#include "core/experiment.hpp"
+#include "drivecycle/route_synth.hpp"
+#include "drivecycle/traffic.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace evc;
+  const int drivers = argc > 1 ? std::atoi(argv[1]) : 6;
+
+  const core::EvParams params;
+  core::ClimateSimulation sim(params);
+  core::SimulationOptions opts;
+  opts.record_traces = false;
+  bat::SohModel soh(params.battery);
+
+  RunningStats fuzzy_years, mpc_years;
+  std::cerr << "simulating " << drivers << " drivers x 2 seasons x 2 "
+            << "controllers...\n";
+
+  for (int driver = 0; driver < drivers; ++driver) {
+    double fuzzy_daily = 0.0, mpc_daily = 0.0;
+    for (double ambient : {34.0, -2.0}) {  // summer / winter halves
+      drive::RouteSynthOptions route;
+      route.seed = 1000 + static_cast<std::uint64_t>(driver);
+      route.trip_duration_s = 900.0;
+      route.urban_fraction = 0.65 + 0.05 * (driver % 5);
+      route.urban_speed_kmh = 45.0;
+      route.highway_speed_kmh = 90.0;
+      route.hilliness_percent = 1.5;
+      route.base_ambient_c = ambient;
+      auto profile = drive::synthesize_route(route);
+      // Individual traffic: each driver follows their own leader noise.
+      drive::FollowOptions traffic;
+      traffic.seed = 77 + static_cast<std::uint64_t>(driver);
+      traffic.leader_noise_mps = 0.8;
+      profile = drive::follow_leader(profile, traffic);
+
+      const auto runs = core::compare_controllers(params, profile, opts);
+      // Half the year at each ambient, one commute per day.
+      fuzzy_daily += 0.5 * runs[1].metrics.delta_soh_percent;
+      mpc_daily += 0.5 * runs[2].metrics.delta_soh_percent;
+    }
+    fuzzy_years.add(soh.years_to_end_of_life(fuzzy_daily, 1.0, 70.0));
+    mpc_years.add(soh.years_to_end_of_life(mpc_daily, 1.0, 70.0));
+    std::cerr << "  driver " << driver + 1 << "/" << drivers << " done\n";
+  }
+
+  TextTable table({"controller", "fleet mean lifetime [y]", "min [y]",
+                   "max [y]", "stddev [y]"});
+  table.add_row({"Fuzzy-based [10]", TextTable::num(fuzzy_years.mean(), 2),
+                 TextTable::num(fuzzy_years.min(), 2),
+                 TextTable::num(fuzzy_years.max(), 2),
+                 TextTable::num(fuzzy_years.stddev(), 2)});
+  table.add_row({"Battery Lifetime-aware MPC",
+                 TextTable::num(mpc_years.mean(), 2),
+                 TextTable::num(mpc_years.min(), 2),
+                 TextTable::num(mpc_years.max(), 2),
+                 TextTable::num(mpc_years.stddev(), 2)});
+  std::cout << table.render("Fleet battery-lifetime projection (" +
+                            TextTable::num(drivers, 0) +
+                            " drivers, cycle + calendar aging)");
+  std::cout << "\nLifetime gained: "
+            << TextTable::num(mpc_years.mean() - fuzzy_years.mean(), 2)
+            << " years per vehicle on fleet average.\n"
+            << "(Absolute years are pessimistic: the SoH constants are "
+               "calibrated to reproduce\nthe paper's *relative* results on "
+               "shallow standard cycles; the relative gap is\nthe number "
+               "to trust.)\n";
+  return 0;
+}

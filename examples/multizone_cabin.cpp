@@ -1,0 +1,54 @@
+// Scenario example: front/rear comfort in a two-zone cabin.
+//
+// The paper assumes a single thermal zone (§II-C). This example runs the
+// two-zone cabin network with a single-zone fuzzy controller reading the
+// mean temperature, and sweeps the front/rear flow split: too much front
+// bias starves the rear row on a hot day, too little lets the sun-loaded
+// front drift — the sweep finds the split that balances both rows.
+//
+//   ./multizone_cabin [ambient_C]
+#include <cstdlib>
+#include <iostream>
+
+#include "control/fuzzy_controller.hpp"
+#include "hvac/multizone.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace evc;
+  const double ambient = argc > 1 ? std::atof(argv[1]) : 38.0;
+
+  TextTable table({"front flow share", "front Tz [C]", "rear Tz [C]",
+                   "spread [C]", "mean [C]", "avg power [kW]"});
+
+  for (double front_share : {0.4, 0.5, 0.6, 0.7, 0.85}) {
+    hvac::MultiZoneParams params;  // asymmetric defaults (sun-loaded front)
+    hvac::MultiZonePlant plant(params, {ambient, ambient});
+    ctl::FuzzyController controller(params.base);
+    ctl::ControlContext c;
+    c.dt_s = 1.0;
+    double power_acc = 0.0;
+    const int steps = 2400;
+    for (int t = 0; t < steps; ++t) {
+      c.cabin_temp_c = plant.mean_cabin_temp_c();
+      c.outside_temp_c = ambient;
+      const auto r = plant.step(controller.decide(c),
+                                {front_share, 1.0 - front_share}, ambient,
+                                1.0);
+      power_acc += r.power.total();
+    }
+    const auto& temps = plant.zone_temps_c();
+    table.add_row({TextTable::num(front_share, 2),
+                   TextTable::num(temps[0], 2), TextTable::num(temps[1], 2),
+                   TextTable::num(std::abs(temps[0] - temps[1]), 2),
+                   TextTable::num(plant.mean_cabin_temp_c(), 2),
+                   TextTable::num(power_acc / steps / 1000.0, 3)});
+  }
+
+  std::cout << table.render("Two-zone cabin, flow-split sweep @ " +
+                            TextTable::num(ambient, 0) + " C");
+  std::cout << "\nThe single-zone controller holds the *mean*; the split "
+               "decides how the comfort\nis distributed between rows — the "
+               "knob a multi-zone VAV system adds.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Scenario example: departure preconditioning.
+//
+// Production EVs precondition the cabin while still plugged in, so the
+// pull-down energy comes from the grid instead of the pack. This is the
+// paper's precool idea pushed before t = 0: the cabin's thermal mass is a
+// small thermal battery. The example compares, on a hot-day commute:
+//   1. no preconditioning (depart with a heat-soaked cabin),
+//   2. precondition to the target (paper-style comfort at departure),
+//   3. precondition *below* target (bank extra cooling in the cabin mass).
+//
+//   ./precondition_departure [ambient_C]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "drivecycle/standard_cycles.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace evc;
+  const double ambient = argc > 1 ? std::atof(argv[1]) : 38.0;
+  const core::EvParams params;
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kUdds, ambient);
+  core::ClimateSimulation sim(params);
+
+  std::cout << "UDDS commute at " << ambient
+            << " C; battery lifetime-aware MPC in all variants.\n";
+
+  struct Variant {
+    const char* label;
+    double cabin_at_departure;
+  };
+  const Variant variants[] = {
+      {"no preconditioning (heat-soaked)", ambient + 6.0},
+      {"preconditioned to target", params.hvac.target_temp_c},
+      {"overcooled by 1.5 C (thermal banking)",
+       params.hvac.target_temp_c - 1.5},
+  };
+
+  TextTable table({"departure cabin state", "trip HVAC energy [Wh]",
+                   "dSoH [%/cycle]", "final SoC [%]", "comfort viol [%]"});
+  for (const Variant& v : variants) {
+    std::cerr << "  " << v.label << "...\n";
+    core::SimulationOptions opts;
+    opts.initial_cabin_temp_c = v.cabin_at_departure;
+    opts.record_traces = false;
+    auto mpc = core::make_mpc_controller(params);
+    const auto result = sim.run(*mpc, profile, opts);
+    const auto& m = result.metrics;
+    table.add_row({v.label, TextTable::num(m.hvac_energy_j / 3600.0, 0),
+                   TextTable::num(m.delta_soh_percent, 6),
+                   TextTable::num(m.final_soc_percent, 2),
+                   TextTable::num(100.0 * m.comfort.fraction_outside, 1)});
+  }
+
+  std::cout << table.render("Departure preconditioning (grid-powered)");
+  std::cout << "\nPreconditioning shifts the pull-down energy off the pack "
+               "(rows 2-3 vs row 1);\novercooling banks extra cold in the "
+               "cabin mass for the first minutes of the trip.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: run the battery lifetime-aware MPC climate controller against
+// the two state-of-the-art baselines on one standard driving cycle and
+// print the trip metrics the paper's evaluation is built from.
+//
+//   ./quickstart [cycle] [ambient_C]
+//
+// cycle ∈ {NEDC, US06, ECE_EUDC, SC03, UDDS}, default ECE_EUDC @ 35 °C.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "drivecycle/standard_cycles.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+evc::drive::StandardCycle parse_cycle(const std::string& name) {
+  for (auto cycle : evc::drive::all_standard_cycles())
+    if (evc::drive::cycle_name(cycle) == name) return cycle;
+  std::cerr << "unknown cycle '" << name << "', using ECE_EUDC\n";
+  return evc::drive::StandardCycle::kEceEudc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cycle = parse_cycle(argc > 1 ? argv[1] : "ECE_EUDC");
+  const double ambient = argc > 2 ? std::atof(argv[2]) : 35.0;
+
+  const auto profile = evc::drive::make_cycle_profile(cycle, ambient);
+  std::cout << "Drive profile: " << profile.name() << "  ("
+            << profile.duration() << " s, "
+            << profile.total_distance_m() / 1000.0 << " km, ambient "
+            << ambient << " C)\n";
+
+  const evc::core::EvParams params;
+  const auto runs = evc::core::compare_controllers(params, profile);
+
+  evc::TextTable table({"controller", "avg HVAC [kW]", "dSoH [%/cycle]",
+                        "SoC dev [%]", "final SoC [%]", "comfort viol [%]",
+                        "range [km]"});
+  for (const auto& run : runs) {
+    const auto& m = run.metrics;
+    table.add_row({run.controller,
+                   evc::TextTable::num(m.avg_hvac_power_w / 1000.0, 3),
+                   evc::TextTable::num(m.delta_soh_percent, 6),
+                   evc::TextTable::num(m.stress.soc_deviation, 3),
+                   evc::TextTable::num(m.final_soc_percent, 2),
+                   evc::TextTable::num(100.0 * m.comfort.fraction_outside, 1),
+                   evc::TextTable::num(m.estimated_range_km, 0)});
+  }
+  std::cout << table.render("Controller comparison on " + profile.name());
+
+  const auto& base = runs.front().metrics;
+  const auto& ours = runs.back().metrics;
+  std::cout << "\nMPC vs On/Off: HVAC power "
+            << evc::core::improvement_percent(base.avg_hvac_power_w,
+                                              ours.avg_hvac_power_w)
+            << "% lower, dSoH "
+            << evc::core::improvement_percent(base.delta_soh_percent,
+                                              ours.delta_soh_percent)
+            << "% lower\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Scenario example: recirculation efficiency vs windshield fog in winter.
+//
+// The MPC loves high recirculation in the cold (it slashes the ventilation
+// heating load — the source of its biggest Table I win), but recirculated
+// air accumulates occupant moisture and fogs the windshield. This example
+// runs the moist plant at −5 °C with four occupants and compares:
+//   1. efficiency-only (dr = 0.9 fixed): cheapest, fogs within minutes;
+//   2. fresh-air-only (dr = 0.0): safe, pays the full ventilation load;
+//   3. defog-supervised (dr capped by the fog-margin guard): nearly the
+//      efficiency of (1) with the safety of (2).
+#include <algorithm>
+#include <iostream>
+
+#include "control/fuzzy_controller.hpp"
+#include "hvac/defog.hpp"
+#include "hvac/moist_plant.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace evc;
+  // Cool, damp morning: mild enough that the fuzzy controller settles at a
+  // low blower speed — the regime where recirculated occupant moisture
+  // accumulates fastest.
+  const double ambient = 5.0;
+  const double outside_rh = 0.8;
+
+  struct Policy {
+    const char* label;
+    bool fixed;
+    double fixed_dr;
+    bool supervised;
+  };
+  const Policy policies[] = {
+      {"efficiency-only (dr=0.9)", true, 0.9, false},
+      {"fresh-air-only (dr=0.0)", true, 0.0, false},
+      {"defog-supervised", true, 0.9, true},
+  };
+
+  TextTable table({"policy", "avg HVAC [kW]", "min fog margin [K]",
+                   "fogged time [%]", "cabin RH end [%]"});
+  for (const Policy& policy : policies) {
+    hvac::HvacParams params = hvac::default_hvac_params();
+    hvac::MoistureParams moisture;
+    moisture.occupants = 4;
+    hvac::MoistHvacPlant plant(params, moisture, 20.0, 0.5);
+    ctl::FuzzyController controller(params);
+    hvac::DefogParams defog;
+
+    double power_acc = 0.0, min_margin = 1e9;
+    int fogged = 0;
+    const int steps = 1800;
+    hvac::MoistStepResult last;
+    for (int t = 0; t < steps; ++t) {
+      ctl::ControlContext c;
+      c.dt_s = 1.0;
+      c.cabin_temp_c = plant.cabin_temp_c();
+      c.outside_temp_c = ambient;
+      hvac::HvacInputs in = controller.decide(c);
+      const double heat_demand = in.supply_temp_c - in.coil_temp_c;
+      in.recirculation = policy.fixed_dr;
+      if (policy.supervised) {
+        in.recirculation = std::min(
+            in.recirculation,
+            hvac::recirculation_limit(defog, 0.9, plant.cabin_temp_c(),
+                                      ambient, plant.cabin_humidity_ratio()));
+      }
+      // Keep the coil consistent with the overridden damper (the fuzzy
+      // controller computed it for dr = 0.5): cooler stays passive, the
+      // heater span is preserved on top of the new mixed temperature.
+      const double tm = (1.0 - in.recirculation) * ambient +
+                        in.recirculation * plant.cabin_temp_c();
+      in.coil_temp_c = tm;
+      in.supply_temp_c = tm + std::max(heat_demand, 0.0);
+      last = plant.step(in, ambient, outside_rh, 1.0);
+      power_acc += last.total_power_w;
+      const double margin =
+          hvac::fog_margin_k(defog, plant.cabin_temp_c(), ambient,
+                             plant.cabin_humidity_ratio());
+      min_margin = std::min(min_margin, margin);
+      if (margin < 0.0) ++fogged;
+    }
+    table.add_row(
+        {policy.label, TextTable::num(power_acc / steps / 1000.0, 2),
+         TextTable::num(min_margin, 2),
+         TextTable::num(100.0 * fogged / steps, 1),
+         TextTable::num(100.0 * last.moisture.cabin_relative_humidity, 1)});
+  }
+
+  std::cout << table.render(
+      "Recirculation vs windshield fog (5 C damp morning, 4 occupants, "
+      "80% RH outside)");
+  std::cout << "\nThe defog supervisor keeps most of the recirculation "
+               "saving without ever\nletting the windshield fog — the "
+               "safety constraint an efficiency-optimal\nclimate "
+               "controller must carry.\n";
+  return 0;
+}

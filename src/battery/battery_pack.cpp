@@ -1,0 +1,45 @@
+#include "battery/battery_pack.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+#include "util/units.hpp"
+
+namespace evc::bat {
+
+BatteryPack::BatteryPack(BatteryParams params, double initial_soc_percent)
+    : soc_model_(params), ocv_(make_leaf_ocv_curve()),
+      soc_percent_(initial_soc_percent) {
+  EVC_EXPECT(initial_soc_percent >= 0.0 && initial_soc_percent <= 100.0,
+             "initial SoC must be in [0, 100]");
+}
+
+void BatteryPack::reset(double soc_percent) {
+  EVC_EXPECT(soc_percent >= 0.0 && soc_percent <= 100.0,
+             "SoC must be in [0, 100]");
+  soc_percent_ = soc_percent;
+  depleted_ = false;
+}
+
+PackStep BatteryPack::step(double power_w, double dt_s) {
+  EVC_EXPECT(dt_s > 0.0, "pack step duration must be positive");
+  PackStep out;
+  const double ocv = ocv_(soc_percent_);
+  out.current_a = soc_model_.current_for_power(power_w, ocv);
+  out.effective_current_a = soc_model_.effective_current(out.current_a);
+  out.terminal_voltage_v =
+      ocv - out.current_a * params().internal_resistance_ohm;
+
+  soc_percent_ += soc_model_.soc_delta(out.current_a, dt_s);
+  if (soc_percent_ <= 0.0) depleted_ = true;
+  soc_percent_ = std::clamp(soc_percent_, 0.0, 100.0);
+  out.soc_percent = soc_percent_;
+  return out;
+}
+
+double BatteryPack::remaining_energy_j() const {
+  return units::ah_to_coulomb(params().nominal_capacity_ah) *
+         (soc_percent_ / 100.0) * params().nominal_voltage_v;
+}
+
+}  // namespace evc::bat

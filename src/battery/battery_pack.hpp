@@ -1,0 +1,43 @@
+// Stateful battery pack: SoC integration under a power load.
+#pragma once
+
+#include "battery/soc_model.hpp"
+#include "util/interp.hpp"
+
+namespace evc::bat {
+
+/// One step's electrical outcome.
+struct PackStep {
+  double current_a = 0.0;            ///< terminal current (− = charging)
+  double effective_current_a = 0.0;  ///< Peukert-corrected (Eq. 14)
+  double terminal_voltage_v = 0.0;
+  double soc_percent = 0.0;          ///< SoC after the step
+};
+
+class BatteryPack {
+ public:
+  BatteryPack(BatteryParams params, double initial_soc_percent);
+
+  const BatteryParams& params() const { return soc_model_.params(); }
+  double soc_percent() const { return soc_percent_; }
+  void reset(double soc_percent);
+  double open_circuit_voltage() const { return ocv_(soc_percent_); }
+
+  /// Draw `power_w` (− = regenerate) for `dt_s` seconds. SoC saturates at
+  /// [0, 100]; drawing from an empty pack is flagged by `depleted()`.
+  PackStep step(double power_w, double dt_s);
+
+  bool depleted() const { return depleted_; }
+
+  /// Remaining usable energy at the nominal voltage (J), ignoring rate
+  /// effects — the BMS's simple range-estimation basis.
+  double remaining_energy_j() const;
+
+ private:
+  PeukertSocModel soc_model_;
+  LookupTable1D ocv_;
+  double soc_percent_;
+  bool depleted_ = false;
+};
+
+}  // namespace evc::bat

@@ -1,0 +1,39 @@
+#include "battery/battery_params.hpp"
+
+#include "util/expect.hpp"
+
+namespace evc::bat {
+
+void BatteryParams::validate() const {
+  EVC_EXPECT(nominal_capacity_ah > 0.0, "capacity must be positive");
+  EVC_EXPECT(nominal_voltage_v > 0.0, "voltage must be positive");
+  EVC_EXPECT(nominal_current_a > 0.0, "nominal current must be positive");
+  EVC_EXPECT(peukert_constant >= 1.0 && peukert_constant < 1.5,
+             "Peukert constant outside plausible Li-ion range");
+  EVC_EXPECT(internal_resistance_ohm >= 0.0,
+             "internal resistance must be >= 0");
+  EVC_EXPECT(soh_a1 > 0.0 && soh_a2 >= 0.0 && soh_a3 > 0.0,
+             "SoH model coefficients must be positive");
+  EVC_EXPECT(soh_alpha > 0.0, "SoH deviation sensitivity must be positive");
+  EVC_EXPECT(soh_beta >= 0.0, "SoH average sensitivity must be >= 0");
+  EVC_EXPECT(charge_phase_dev_percent >= 0.0 &&
+                 charge_phase_avg_percent >= 0.0 &&
+                 charge_phase_avg_percent <= 100.0,
+             "charge phase constants outside range");
+  EVC_EXPECT(calendar_k >= 0.0, "calendar fade coefficient must be >= 0");
+  EVC_EXPECT(calendar_beta >= 0.0, "calendar SoC sensitivity must be >= 0");
+  EVC_EXPECT(end_of_life_fade_percent > 0.0 &&
+                 end_of_life_fade_percent < 100.0,
+             "end-of-life fade outside range");
+}
+
+BatteryParams leaf_24kwh_params() { return BatteryParams{}; }
+
+LookupTable1D make_leaf_ocv_curve() {
+  return LookupTable1D(
+      {0.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0},
+      {330.0, 344.0, 353.0, 365.0, 371.0, 375.0, 379.0, 383.0, 387.0, 391.0,
+       396.0, 403.0});
+}
+
+}  // namespace evc::bat

@@ -1,0 +1,51 @@
+// Battery pack parameters (paper §II-D, Eq. 13–17).
+//
+// Defaults model a Leaf-class 24 kWh Li-ion pack (96s2p, 360 V nominal).
+// The SoH degradation constants follow the Millner-shaped stress model the
+// paper adopts: ΔSoH = (a1·e^(α·SoCdev) + a2)·(a3·e^(β·SoCavg)).
+#pragma once
+
+#include "util/interp.hpp"
+
+namespace evc::bat {
+
+struct BatteryParams {
+  double nominal_capacity_ah = 66.2;  ///< Cn at the nominal current
+  double nominal_voltage_v = 360.0;
+  /// In — manufacturer's nominal (rating) current; C/3 for this pack.
+  double nominal_current_a = 22.1;
+  double peukert_constant = 1.05;  ///< pc in Eq. 14
+  double internal_resistance_ohm = 0.1;
+
+  // --- SoH degradation model (Eq. 15), SoC quantities in percent ---
+  double soh_a1 = 5e-4;
+  double soh_a2 = 2.5e-4;
+  double soh_a3 = 1.0;
+  double soh_alpha = 0.35;  ///< sensitivity to SoC deviation (1/%)
+  double soh_beta = 0.02;   ///< sensitivity to SoC average (1/%)
+
+  /// The charging half of the cycle has fixed pattern/duration (paper
+  /// §II-D); its contribution to the cycle's SoC deviation and average is
+  /// folded in as constants.
+  double charge_phase_dev_percent = 4.0;
+  double charge_phase_avg_percent = 70.0;
+
+  // --- Calendar aging (extension; the paper models cycle aging only) ---
+  /// √t calendar fade: fade% = k·e^(β_cal·SoC)·√days. Defaults give ≈2 %
+  /// in the first year at 70 % standing SoC.
+  double calendar_k = 0.037;
+  double calendar_beta = 0.015;  ///< sensitivity to standing SoC (1/%)
+
+  /// End of life at 80 % of nominal capacity (paper §I / §II-D).
+  double end_of_life_fade_percent = 20.0;
+
+  void validate() const;
+};
+
+BatteryParams leaf_24kwh_params();
+
+/// Pack open-circuit voltage as a function of SoC (percent). Monotone
+/// Li-ion shape with the characteristic low-SoC knee.
+LookupTable1D make_leaf_ocv_curve();
+
+}  // namespace evc::bat

@@ -1,0 +1,51 @@
+#include "battery/bms.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace evc::bat {
+
+Bms::Bms(BatteryParams params, BmsLimits limits, double initial_soc_percent)
+    : pack_(params, initial_soc_percent), soh_model_(params),
+      limits_(limits) {
+  EVC_EXPECT(limits_.min_soc_percent < limits_.max_soc_percent,
+             "BMS SoC limits inverted");
+  EVC_EXPECT(limits_.max_discharge_power_w > 0.0 &&
+                 limits_.max_charge_power_w > 0.0,
+             "BMS power limits must be positive");
+  soc_trace_.push_back(pack_.soc_percent());
+}
+
+void Bms::start_cycle(double soc_percent) {
+  pack_.reset(soc_percent);
+  soc_trace_.clear();
+  soc_trace_.push_back(soc_percent);
+  protection_engaged_ = false;
+}
+
+double Bms::apply_power(double requested_power_w, double dt_s) {
+  double power = std::clamp(requested_power_w, -limits_.max_charge_power_w,
+                            limits_.max_discharge_power_w);
+  // Over-discharge guard: refuse discharge below the floor. Over-charge
+  // guard: cut regeneration above the ceiling.
+  if (pack_.soc_percent() <= limits_.min_soc_percent && power > 0.0)
+    power = 0.0;
+  if (pack_.soc_percent() >= limits_.max_soc_percent && power < 0.0)
+    power = 0.0;
+  if (power != requested_power_w) protection_engaged_ = true;
+
+  last_step_ = pack_.step(power, dt_s);
+  soc_trace_.push_back(pack_.soc_percent());
+  return power;
+}
+
+CycleStress Bms::cycle_stress() const {
+  return soh_model_.stress_of_trace(soc_trace_);
+}
+
+double Bms::cycle_delta_soh() const {
+  return soh_model_.delta_soh(cycle_stress());
+}
+
+}  // namespace evc::bat

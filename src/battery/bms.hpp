@@ -1,0 +1,61 @@
+// Battery Management System facade (paper §I, §III Algorithm 1 line 20).
+//
+// Wraps the pack with the protections a BMS provides (over-discharge /
+// over-charge guards, power derating near the SoC limits), accumulates the
+// drive-cycle SoC trace, and evaluates the SoH degradation of the completed
+// cycle — the quantity the paper's controller co-optimizes.
+#pragma once
+
+#include <vector>
+
+#include "battery/battery_pack.hpp"
+#include "battery/soh_model.hpp"
+
+namespace evc::bat {
+
+struct BmsLimits {
+  double min_soc_percent = 5.0;   ///< over-discharge guard
+  double max_soc_percent = 98.0;  ///< over-charge guard (regen cutoff)
+  double max_discharge_power_w = 90e3;
+  double max_charge_power_w = 40e3;
+};
+
+class Bms {
+ public:
+  Bms(BatteryParams params, BmsLimits limits, double initial_soc_percent);
+
+  double soc_percent() const { return pack_.soc_percent(); }
+  const std::vector<double>& soc_trace() const { return soc_trace_; }
+  const BmsLimits& limits() const { return limits_; }
+
+  /// True once the protection envelope was hit at least once.
+  bool protection_engaged() const { return protection_engaged_; }
+
+  /// Apply a power demand for one step. The BMS derates the request to its
+  /// protection envelope (returning the power actually served) and records
+  /// the SoC sample.
+  double apply_power(double requested_power_w, double dt_s);
+
+  /// Electrical details of the most recent apply_power step (pack current,
+  /// Peukert-effective current, terminal voltage) — consumed by the battery
+  /// thermal model.
+  const BatteryPack& pack() const { return pack_; }
+  const PackStep& last_step() const { return last_step_; }
+
+  /// Reset to a fresh discharge cycle at `soc_percent`.
+  void start_cycle(double soc_percent);
+
+  /// Stress and fade of the cycle recorded since start_cycle().
+  CycleStress cycle_stress() const;
+  double cycle_delta_soh() const;
+
+ private:
+  BatteryPack pack_;
+  SohModel soh_model_;
+  BmsLimits limits_;
+  std::vector<double> soc_trace_;
+  PackStep last_step_;
+  bool protection_engaged_ = false;
+};
+
+}  // namespace evc::bat

@@ -1,0 +1,58 @@
+#include "battery/charger.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace evc::bat {
+
+void ChargerParams::validate() const {
+  EVC_EXPECT(cc_current_a > 0.0, "CC current must be positive");
+  EVC_EXPECT(cv_voltage_v > 0.0, "CV voltage must be positive");
+  EVC_EXPECT(cutoff_current_a > 0.0 && cutoff_current_a < cc_current_a,
+             "cutoff current must be in (0, cc_current)");
+  EVC_EXPECT(sample_period_s > 0.0, "sample period must be positive");
+  EVC_EXPECT(max_duration_s > 0.0, "max duration must be positive");
+}
+
+ChargeResult simulate_cc_cv_charge(BatteryPack& pack,
+                                   const ChargerParams& charger) {
+  charger.validate();
+  const double r = pack.params().internal_resistance_ohm;
+  ChargeResult result;
+  result.soc_trace.push_back(pack.soc_percent());
+
+  double t = 0.0;
+  while (t < charger.max_duration_s && pack.soc_percent() < 100.0 - 1e-9) {
+    const double ocv = pack.open_circuit_voltage();
+
+    // Phase selection: CC until the terminal voltage would exceed the CV
+    // setpoint, then CV with the current tapering as the OCV rises.
+    double current = charger.cc_current_a;
+    if (ocv + current * r >= charger.cv_voltage_v) {
+      current = r > 0.0 ? (charger.cv_voltage_v - ocv) / r
+                        : charger.cutoff_current_a;
+      if (current <= charger.cutoff_current_a) break;  // charge complete
+    }
+
+    // Terminal power flowing *into* the pack (negative demand).
+    const double terminal_v = ocv + current * r;
+    pack.step(-terminal_v * current, charger.sample_period_s);
+    t += charger.sample_period_s;
+    result.soc_trace.push_back(pack.soc_percent());
+  }
+
+  result.duration_s = t;
+  result.final_soc_percent = pack.soc_percent();
+  if (result.soc_trace.size() >= 2) {
+    SohModel soh(pack.params());
+    result.stress = soh.stress_of_trace(result.soc_trace);
+  } else {
+    // Already above the CV cutoff at the start: nothing charged, zero
+    // deviation, average is the standing SoC.
+    result.stress = CycleStress{0.0, pack.soc_percent()};
+  }
+  return result;
+}
+
+}  // namespace evc::bat

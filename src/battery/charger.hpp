@@ -1,0 +1,39 @@
+// CC-CV charger model.
+//
+// The paper treats the charging half of the discharge/charge cycle as a
+// fixed pattern whose contribution to SoCdev/SoCavg enters Eq. 15 as
+// constants. This module *computes* those constants by simulating the
+// standard constant-current / constant-voltage protocol, so the defaults
+// in BatteryParams can be validated instead of assumed.
+#pragma once
+
+#include <vector>
+
+#include "battery/battery_pack.hpp"
+#include "battery/soh_model.hpp"
+
+namespace evc::bat {
+
+struct ChargerParams {
+  double cc_current_a = 16.5;      ///< ≈C/4 home charging
+  double cv_voltage_v = 402.0;     ///< pack CV setpoint (just below OCV@100%)
+  double cutoff_current_a = 2.0;   ///< CV phase terminates below this
+  double sample_period_s = 60.0;   ///< SoC trace sampling
+  double max_duration_s = 12.0 * 3600.0;
+
+  void validate() const;
+};
+
+struct ChargeResult {
+  double duration_s = 0.0;
+  double final_soc_percent = 0.0;
+  std::vector<double> soc_trace;  ///< sampled at sample_period_s
+  CycleStress stress;             ///< Eq. 16–17 over the charge phase
+};
+
+/// Simulate charging `pack` (mutates it) from its current SoC to full (or
+/// until the CV cutoff / time limit).
+ChargeResult simulate_cc_cv_charge(BatteryPack& pack,
+                                   const ChargerParams& charger = {});
+
+}  // namespace evc::bat

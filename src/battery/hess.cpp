@@ -1,0 +1,77 @@
+#include "battery/hess.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::bat {
+
+void HessPolicy::validate() const {
+  EVC_EXPECT(filter_time_constant_s > 0.0,
+             "HESS filter time constant must be positive");
+  EVC_EXPECT(ucap_soc_target >= 0.0 && ucap_soc_target <= 1.0,
+             "ultracap SoC target outside [0, 1]");
+  EVC_EXPECT(restore_gain_w >= 0.0, "restore gain must be >= 0");
+}
+
+namespace {
+double initial_voltage_for_target(const UltracapParams& p, double target) {
+  return p.min_voltage_v + target * (p.max_voltage_v - p.min_voltage_v);
+}
+}  // namespace
+
+Hess::Hess(BatteryParams battery_params, BmsLimits limits,
+           UltracapParams ucap_params, HessPolicy policy,
+           double initial_soc_percent)
+    : bms_(battery_params, limits, initial_soc_percent),
+      ucap_(ucap_params,
+            initial_voltage_for_target(ucap_params, policy.ucap_soc_target)),
+      policy_(policy),
+      initial_ucap_voltage_v_(
+          initial_voltage_for_target(ucap_params, policy.ucap_soc_target)) {
+  policy_.validate();
+}
+
+void Hess::start_cycle(double soc_percent) {
+  bms_.start_cycle(soc_percent);
+  ucap_ = Ultracapacitor(ucap_.params(), initial_ucap_voltage_v_);
+  filtered_load_w_ = 0.0;
+  filter_primed_ = false;
+}
+
+HessStep Hess::apply_power(double requested_power_w, double dt_s) {
+  EVC_EXPECT(dt_s > 0.0, "HESS step must be positive");
+  // Low-pass the load: the battery should carry the sustained component.
+  if (!filter_primed_) {
+    filtered_load_w_ = requested_power_w;
+    filter_primed_ = true;
+  } else {
+    const double alpha = dt_s / (policy_.filter_time_constant_s + dt_s);
+    filtered_load_w_ += alpha * (requested_power_w - filtered_load_w_);
+  }
+
+  // Battery target: sustained load + restoring trickle toward the ucap
+  // SoC setpoint (positive error → ucap under target → battery works
+  // harder so the surplus recharges the ucap).
+  const double soc_error = policy_.ucap_soc_target - ucap_.soc();
+  double battery_power =
+      filtered_load_w_ + policy_.restore_gain_w * soc_error;
+
+  // The ultracapacitor covers the residual, within its envelope.
+  double ucap_request = requested_power_w - battery_power;
+  const UltracapStep ucap_step = ucap_.step(ucap_request, dt_s);
+
+  // Whatever the ucap could not serve falls back to the battery.
+  battery_power = requested_power_w - ucap_step.power_served_w;
+  const double battery_served = bms_.apply_power(battery_power, dt_s);
+
+  HessStep out;
+  out.battery_power_w = battery_served;
+  out.ucap_power_w = ucap_step.power_served_w;
+  out.served_power_w = battery_served + ucap_step.power_served_w;
+  out.ucap_soc = ucap_.soc();
+  return out;
+}
+
+}  // namespace evc::bat

@@ -1,0 +1,90 @@
+#include "battery/multi_cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace evc::bat {
+
+MultiCellPack::MultiCellPack(BatteryParams params, std::size_t series_cells,
+                             CellSpread spread, BalancerParams balancer,
+                             double initial_soc_percent)
+    : params_(params), balancer_(balancer), ocv_(make_leaf_ocv_curve()) {
+  params_.validate();
+  EVC_EXPECT(series_cells >= 2, "a string needs at least two cells");
+  EVC_EXPECT(spread.capacity_sigma >= 0.0 && spread.capacity_sigma < 0.2,
+             "capacity spread outside plausible range");
+  EVC_EXPECT(balancer_.bleed_current_a >= 0.0,
+             "bleed current must be >= 0");
+  EVC_EXPECT(balancer_.threshold_percent >= 0.0,
+             "balancer threshold must be >= 0");
+  EVC_EXPECT(initial_soc_percent >= 0.0 && initial_soc_percent <= 100.0,
+             "initial SoC outside [0, 100]");
+
+  SplitMix64 rng(spread.seed);
+  const double nominal_c = units::ah_to_coulomb(params_.nominal_capacity_ah);
+  const double cell_r =
+      params_.internal_resistance_ohm / static_cast<double>(series_cells);
+  cells_.resize(series_cells);
+  soc_.assign(series_cells, initial_soc_percent);
+  for (Cell& cell : cells_) {
+    cell.capacity_c =
+        nominal_c * std::max(0.5, 1.0 + rng.normal(0.0, spread.capacity_sigma));
+    cell.resistance_ohm =
+        cell_r * std::max(0.2, 1.0 + rng.normal(0.0, spread.resistance_sigma));
+  }
+}
+
+double MultiCellPack::min_cell_soc() const {
+  return *std::min_element(soc_.begin(), soc_.end());
+}
+
+double MultiCellPack::max_cell_soc() const {
+  return *std::max_element(soc_.begin(), soc_.end());
+}
+
+double MultiCellPack::imbalance() const {
+  return max_cell_soc() - min_cell_soc();
+}
+
+double MultiCellPack::terminal_voltage(double current_a) const {
+  const double n = static_cast<double>(cells_.size());
+  double v = 0.0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    // Per-cell OCV: the pack curve scaled down to one cell's share.
+    v += ocv_(soc_[i]) / n - current_a * cells_[i].resistance_ohm;
+  }
+  return v;
+}
+
+double MultiCellPack::step_current(double current_a, double dt_s) {
+  EVC_EXPECT(dt_s > 0.0, "pack step must be positive");
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const double delta = 100.0 * current_a * dt_s / cells_[i].capacity_c;
+    soc_[i] = std::clamp(soc_[i] - delta, 0.0, 100.0);
+  }
+  return min_cell_soc();
+}
+
+double MultiCellPack::balance(double dt_s) {
+  EVC_EXPECT(dt_s > 0.0, "balance step must be positive");
+  const double floor = min_cell_soc() + balancer_.threshold_percent;
+  const double n = static_cast<double>(cells_.size());
+  double dissipated_j = 0.0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (soc_[i] <= floor) continue;
+    const double delta =
+        100.0 * balancer_.bleed_current_a * dt_s / cells_[i].capacity_c;
+    // Don't bleed below the engage floor within one step.
+    const double applied = std::min(delta, soc_[i] - floor);
+    soc_[i] -= applied;
+    dissipated_j += (applied / 100.0) * cells_[i].capacity_c *
+                    (ocv_(soc_[i]) / n);
+  }
+  return dissipated_j;
+}
+
+}  // namespace evc::bat

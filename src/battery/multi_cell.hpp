@@ -1,0 +1,71 @@
+// Series multi-cell pack with passive balancing.
+//
+// The paper's §I: "The BMS prevents overcharging, overdischarging,
+// overheating, and imbalance of battery cells". The pack-level models in
+// battery_pack.* treat the pack as one lumped cell; this module resolves
+// the series string: manufacturing spread in per-cell capacity and
+// resistance makes cell SoCs diverge under load, the weakest cell limits
+// the usable pack capacity, and a passive balancer (bleed resistors)
+// reconverges the string.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "battery/battery_params.hpp"
+
+namespace evc::bat {
+
+struct CellSpread {
+  /// Relative standard deviation of cell capacity (1σ, e.g. 0.02 = ±2 %).
+  double capacity_sigma = 0.02;
+  /// Relative standard deviation of cell resistance.
+  double resistance_sigma = 0.05;
+  std::uint64_t seed = 1;
+};
+
+struct BalancerParams {
+  /// Bleed current through the balancing resistor (A).
+  double bleed_current_a = 0.1;
+  /// Balancing engages on cells more than this above the string minimum.
+  double threshold_percent = 0.5;
+};
+
+class MultiCellPack {
+ public:
+  /// `series_cells` cells with parameters scaled from the pack-level
+  /// `params` (capacity in Ah is per-cell = pack capacity; voltage split).
+  MultiCellPack(BatteryParams params, std::size_t series_cells,
+                CellSpread spread, BalancerParams balancer,
+                double initial_soc_percent);
+
+  std::size_t num_cells() const { return cells_.size(); }
+  const std::vector<double>& cell_soc() const { return soc_; }
+  double min_cell_soc() const;
+  double max_cell_soc() const;
+  /// max − min cell SoC (percentage points) — the BMS's imbalance metric.
+  double imbalance() const;
+  double terminal_voltage(double current_a) const;
+
+  /// Apply a string current for `dt_s` (+ = discharge). Every cell sees
+  /// the same current; SoC moves per each cell's own capacity. Returns the
+  /// string's limiting (minimum) SoC after the step.
+  double step_current(double current_a, double dt_s);
+
+  /// Run the passive balancer for `dt_s`: cells above (min + threshold)
+  /// bleed at the balancer current. Returns the energy dissipated (J).
+  double balance(double dt_s);
+
+ private:
+  struct Cell {
+    double capacity_c = 0.0;  ///< coulombs
+    double resistance_ohm = 0.0;
+  };
+  BatteryParams params_;
+  BalancerParams balancer_;
+  std::vector<Cell> cells_;
+  std::vector<double> soc_;  ///< percent per cell
+  LookupTable1D ocv_;        ///< pack-level curve, scaled per cell
+};
+
+}  // namespace evc::bat

@@ -1,0 +1,38 @@
+#include "battery/soc_model.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/units.hpp"
+
+namespace evc::bat {
+
+PeukertSocModel::PeukertSocModel(BatteryParams params) : params_(params) {
+  params_.validate();
+}
+
+double PeukertSocModel::effective_current(double current_a) const {
+  if (current_a <= 0.0) return current_a;
+  return current_a * std::pow(current_a / params_.nominal_current_a,
+                              params_.peukert_constant - 1.0);
+}
+
+double PeukertSocModel::current_for_power(double power_w, double ocv_v) const {
+  EVC_EXPECT(ocv_v > 0.0, "open-circuit voltage must be positive");
+  const double r = params_.internal_resistance_ohm;
+  if (r <= 0.0) return power_w / ocv_v;
+  const double discriminant = ocv_v * ocv_v - 4.0 * r * power_w;
+  EVC_EXPECT(discriminant >= 0.0,
+             "power demand exceeds the pack's deliverable maximum");
+  // Physical branch: the smaller root (terminal voltage stays near Voc).
+  return (ocv_v - std::sqrt(discriminant)) / (2.0 * r);
+}
+
+double PeukertSocModel::soc_delta(double current_a, double dt_s) const {
+  EVC_EXPECT(dt_s >= 0.0, "time step must be >= 0");
+  const double capacity_c =
+      units::ah_to_coulomb(params_.nominal_capacity_ah);
+  return -100.0 * effective_current(current_a) * dt_s / capacity_c;
+}
+
+}  // namespace evc::bat

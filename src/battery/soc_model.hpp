@@ -1,0 +1,34 @@
+// Rate-capacity SoC model (paper Eq. 13–14, Peukert's law).
+#pragma once
+
+#include "battery/battery_params.hpp"
+
+namespace evc::bat {
+
+class PeukertSocModel {
+ public:
+  explicit PeukertSocModel(BatteryParams params);
+
+  const BatteryParams& params() const { return params_; }
+
+  /// Effective current Ieff = I·(I/In)^(pc−1) (Eq. 14). Discharge only:
+  /// charging currents (I < 0) pass through unchanged — the rate-capacity
+  /// effect models chemical availability during discharge.
+  double effective_current(double current_a) const;
+
+  /// Pack terminal current for an electrical power demand (W, negative =
+  /// charging) at open-circuit voltage `ocv_v`, accounting for the IR drop:
+  /// solves P = (Voc − I·R)·I for the physical branch.
+  /// Throws std::invalid_argument if the demand exceeds the deliverable
+  /// maximum Voc²/4R.
+  double current_for_power(double power_w, double ocv_v) const;
+
+  /// SoC decrement (percentage points) for drawing `current_a` over `dt_s`
+  /// seconds (Eq. 13 discretized).
+  double soc_delta(double current_a, double dt_s) const;
+
+ private:
+  BatteryParams params_;
+};
+
+}  // namespace evc::bat

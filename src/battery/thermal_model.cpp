@@ -1,0 +1,54 @@
+#include "battery/thermal_model.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/units.hpp"
+
+namespace evc::bat {
+
+void BatteryThermalParams::validate() const {
+  EVC_EXPECT(heat_capacity_j_per_k > 0.0,
+             "pack heat capacity must be positive");
+  EVC_EXPECT(ua_w_per_k > 0.0, "pack UA must be positive");
+  EVC_EXPECT(activation_energy_over_r_k > 0.0,
+             "activation energy must be positive");
+  EVC_EXPECT(reference_temp_c > -40.0 && reference_temp_c < 80.0,
+             "reference temperature outside plausible range");
+}
+
+BatteryThermalModel::BatteryThermalModel(BatteryThermalParams params,
+                                         double initial_temp_c)
+    : params_(params), temp_c_(initial_temp_c) {
+  params_.validate();
+  EVC_EXPECT(initial_temp_c > -40.0 && initial_temp_c < 90.0,
+             "initial pack temperature outside plausible range");
+}
+
+double BatteryThermalModel::step(double current_a, double resistance_ohm,
+                                 double ambient_c, double dt_s) {
+  EVC_EXPECT(dt_s >= 0.0, "thermal step must be >= 0");
+  EVC_EXPECT(resistance_ohm >= 0.0, "resistance must be >= 0");
+  const double joule_w = current_a * current_a * resistance_ohm;
+  // Exact step of C·dT/dt = q − UA·(T − Tamb): first-order toward the
+  // equilibrium Tamb + q/UA.
+  const double t_inf = ambient_c + joule_w / params_.ua_w_per_k;
+  const double rate = params_.ua_w_per_k / params_.heat_capacity_j_per_k;
+  temp_c_ = t_inf + (temp_c_ - t_inf) * std::exp(-rate * dt_s);
+  return temp_c_;
+}
+
+double BatteryThermalModel::fade_acceleration(double temp_c) const {
+  const double t = units::celsius_to_kelvin(temp_c);
+  const double tref = units::celsius_to_kelvin(params_.reference_temp_c);
+  return std::exp(params_.activation_energy_over_r_k * (1.0 / tref - 1.0 / t));
+}
+
+double delta_soh_at_temperature(const SohModel& soh,
+                                const BatteryThermalModel& thermal,
+                                const CycleStress& stress,
+                                double avg_pack_temp_c) {
+  return soh.delta_soh(stress) * thermal.fade_acceleration(avg_pack_temp_c);
+}
+
+}  // namespace evc::bat

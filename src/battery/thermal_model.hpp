@@ -1,0 +1,60 @@
+// Lumped battery-pack thermal model and temperature-dependent SoH.
+//
+// The paper scopes battery temperature out of Eq. 15 ("modeled as a
+// constant"). This extension implements it: Joule self-heating against a
+// coolant/ambient sink, and an Arrhenius acceleration factor on the
+// per-cycle fade — so the ablation bench can quantify how much the
+// constant-temperature assumption hides.
+//
+//   C_th·dT/dt = I²·R − UA·(T − T_amb)
+//   fade(T) = fade(Tref) · exp( Ea/Rgas · (1/Tref − 1/T) )
+#pragma once
+
+#include "battery/soh_model.hpp"
+
+namespace evc::bat {
+
+struct BatteryThermalParams {
+  /// Lumped heat capacity of the pack (≈200 kg of cells and structure).
+  double heat_capacity_j_per_k = 2.2e5;
+  /// Heat exchange to the coolant/ambient (forced-air Leaf-class pack).
+  double ua_w_per_k = 35.0;
+  /// Arrhenius activation energy over the gas constant (K). ~4500 K gives
+  /// the commonly cited ≈2× fade per +13 °C near room temperature.
+  double activation_energy_over_r_k = 4500.0;
+  double reference_temp_c = 25.0;
+
+  void validate() const;
+};
+
+class BatteryThermalModel {
+ public:
+  BatteryThermalModel(BatteryThermalParams params, double initial_temp_c);
+
+  const BatteryThermalParams& params() const { return params_; }
+  double temperature_c() const { return temp_c_; }
+  void reset(double temp_c) { temp_c_ = temp_c; }
+
+  /// Advance one step with pack current `current_a` through internal
+  /// resistance `resistance_ohm`, sinking to `ambient_c`. Exact linear-ODE
+  /// step (inputs held constant). Returns the new temperature.
+  double step(double current_a, double resistance_ohm, double ambient_c,
+              double dt_s);
+
+  /// Arrhenius fade-acceleration factor at temperature `temp_c` relative
+  /// to the reference (1.0 at the reference temperature).
+  double fade_acceleration(double temp_c) const;
+
+ private:
+  BatteryThermalParams params_;
+  double temp_c_;
+};
+
+/// SoH model with the temperature factor applied: Eq. 15 evaluated at the
+/// cycle's average pack temperature instead of the paper's constant.
+double delta_soh_at_temperature(const SohModel& soh,
+                                const BatteryThermalModel& thermal,
+                                const CycleStress& stress,
+                                double avg_pack_temp_c);
+
+}  // namespace evc::bat

@@ -1,0 +1,92 @@
+#include "battery/ultracapacitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::bat {
+
+void UltracapParams::validate() const {
+  EVC_EXPECT(capacitance_f > 0.0, "capacitance must be positive");
+  EVC_EXPECT(max_voltage_v > min_voltage_v && min_voltage_v >= 0.0,
+             "ultracap voltage window inverted");
+  EVC_EXPECT(esr_ohm >= 0.0, "ESR must be >= 0");
+  EVC_EXPECT(max_current_a > 0.0, "current limit must be positive");
+}
+
+Ultracapacitor::Ultracapacitor(UltracapParams params,
+                               double initial_voltage_v)
+    : params_(params), voltage_v_(initial_voltage_v) {
+  params_.validate();
+  EVC_EXPECT(initial_voltage_v >= params_.min_voltage_v &&
+                 initial_voltage_v <= params_.max_voltage_v,
+             "initial ultracap voltage outside window");
+}
+
+double Ultracapacitor::soc() const {
+  return (voltage_v_ - params_.min_voltage_v) /
+         (params_.max_voltage_v - params_.min_voltage_v);
+}
+
+double Ultracapacitor::stored_energy_j() const {
+  return 0.5 * params_.capacitance_f * voltage_v_ * voltage_v_;
+}
+
+double Ultracapacitor::max_discharge_power_w() const {
+  if (voltage_v_ <= params_.min_voltage_v + 1e-9) return 0.0;
+  const double i = params_.max_current_a;
+  return std::max((voltage_v_ - i * params_.esr_ohm) * i, 0.0);
+}
+
+double Ultracapacitor::max_charge_power_w() const {
+  if (voltage_v_ >= params_.max_voltage_v - 1e-9) return 0.0;
+  const double i = params_.max_current_a;
+  return std::max((voltage_v_ + i * params_.esr_ohm) * i, 0.0);
+}
+
+UltracapStep Ultracapacitor::step(double power_w, double dt_s) {
+  EVC_EXPECT(dt_s > 0.0, "ultracap step must be positive");
+  UltracapStep out;
+
+  double power = std::clamp(power_w, -max_charge_power_w(),
+                            max_discharge_power_w());
+
+  // Terminal power P = (V − I·R)·I → R·I² − V·I + P = 0, physical branch.
+  double current = 0.0;
+  if (std::abs(power) > 1e-12) {
+    if (params_.esr_ohm <= 0.0) {
+      current = power / voltage_v_;
+    } else {
+      const double disc =
+          voltage_v_ * voltage_v_ - 4.0 * params_.esr_ohm * power;
+      // The envelope clamp above keeps disc ≥ 0 for discharge; charging
+      // always has disc > 0.
+      current = (voltage_v_ - std::sqrt(std::max(disc, 0.0))) /
+                (2.0 * params_.esr_ohm);
+    }
+  }
+  current = std::clamp(current, -params_.max_current_a,
+                       params_.max_current_a);
+
+  // Voltage update, clamped to the window (the clamp models the DC/DC
+  // controller cutting off at the window edges).
+  double v_next = voltage_v_ - current * dt_s / params_.capacitance_f;
+  if (v_next < params_.min_voltage_v) {
+    current = (voltage_v_ - params_.min_voltage_v) * params_.capacitance_f /
+              dt_s;
+    v_next = params_.min_voltage_v;
+  } else if (v_next > params_.max_voltage_v) {
+    current = (voltage_v_ - params_.max_voltage_v) * params_.capacitance_f /
+              dt_s;
+    v_next = params_.max_voltage_v;
+  }
+
+  out.current_a = current;
+  out.power_served_w = (voltage_v_ - current * params_.esr_ohm) * current;
+  voltage_v_ = v_next;
+  out.voltage_v = voltage_v_;
+  return out;
+}
+
+}  // namespace evc::bat

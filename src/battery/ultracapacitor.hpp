@@ -1,0 +1,52 @@
+// Ultracapacitor bank model for the Hybrid Energy Storage System
+// (paper §I, ref [3]: Park, Kim, Chang, "Hybrid Energy Storage Systems and
+// Battery Management for Electric Vehicles", DAC'13).
+//
+// Ideal capacitor with equivalent series resistance:
+//   E = ½·C·V²,   dV/dt = −I/C,   P_terminal = (V − I·R)·I.
+#pragma once
+
+namespace evc::bat {
+
+struct UltracapParams {
+  double capacitance_f = 63.0;   ///< bank capacitance (Maxwell 125 V class)
+  double max_voltage_v = 125.0;
+  /// Bank must not fall below half voltage (¾ of the energy is usable).
+  double min_voltage_v = 62.5;
+  double esr_ohm = 0.018;
+  double max_current_a = 750.0;
+
+  void validate() const;
+};
+
+struct UltracapStep {
+  double current_a = 0.0;   ///< + = discharging
+  double voltage_v = 0.0;   ///< open-circuit voltage after the step
+  double power_served_w = 0.0;  ///< may be less than requested at limits
+};
+
+class Ultracapacitor {
+ public:
+  Ultracapacitor(UltracapParams params, double initial_voltage_v);
+
+  const UltracapParams& params() const { return params_; }
+  double voltage() const { return voltage_v_; }
+  /// Usable state of charge in [0, 1]: 0 at min voltage, 1 at max.
+  double soc() const;
+  double stored_energy_j() const;
+
+  /// Maximum discharge (+) and charge (−) power deliverable right now,
+  /// limited by current cap and the voltage window.
+  double max_discharge_power_w() const;
+  double max_charge_power_w() const;
+
+  /// Serve `power_w` (+ = discharge) for `dt_s`, derated to the physical
+  /// envelope. Returns what was actually served.
+  UltracapStep step(double power_w, double dt_s);
+
+ private:
+  UltracapParams params_;
+  double voltage_v_;
+};
+
+}  // namespace evc::bat

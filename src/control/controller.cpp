@@ -1,0 +1,4 @@
+#include "control/controller.hpp"
+
+// Interface-only translation unit: keeps the vtable anchored in one place.
+namespace evc::ctl {}

@@ -1,0 +1,42 @@
+// Climate controller interface shared by the baselines (On/Off, fuzzy) and
+// the paper's MPC controller.
+//
+// Each control step the simulation hands the controller the measured cabin
+// state plus — for predictive controllers — the receding-horizon forecast
+// of motor power and ambient temperature derived from the drive profile
+// (paper Algorithm 1, lines 14–15). Reactive controllers ignore the
+// forecast.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hvac/hvac_params.hpp"
+
+namespace evc::ctl {
+
+struct ControlContext {
+  double time_s = 0.0;
+  double dt_s = 1.0;
+  double cabin_temp_c = 24.0;
+  double outside_temp_c = 24.0;
+  double soc_percent = 90.0;
+  /// Predicted motor electrical power over the control window (W), element
+  /// k is the prediction for time_s + k·dt_s. Empty for reactive control.
+  std::vector<double> motor_power_forecast_w;
+  /// Predicted ambient temperature over the control window (°C).
+  std::vector<double> outside_temp_forecast_c;
+};
+
+class ClimateController {
+ public:
+  virtual ~ClimateController() = default;
+
+  virtual std::string name() const = 0;
+  /// Actuator decision for the next step.
+  virtual hvac::HvacInputs decide(const ControlContext& context) = 0;
+  /// Clear internal state (hysteresis mode, integrators, warm starts).
+  virtual void reset() {}
+};
+
+}  // namespace evc::ctl

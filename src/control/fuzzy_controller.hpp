@@ -1,0 +1,52 @@
+// Fuzzy-based climate control — the second state-of-the-art baseline
+// (paper ref [10]: Ibrahim et al., Procedia Engineering 2012).
+//
+// A Mamdani PD-style fuzzy regulator on (temperature error, error rate)
+// produces a normalized thermal command u ∈ [−1, 1] (negative = cool,
+// positive = heat), mapped onto the VAV actuators: coil/supply temperature
+// proportional to |u| and air flow scheduled with demand. This stabilizes
+// the cabin temperature tightly (paper Fig. 5) but is oblivious to the
+// motor load and battery state.
+#pragma once
+
+#include <memory>
+
+#include "control/controller.hpp"
+#include "control/fuzzy_engine.hpp"
+#include "hvac/hvac_params.hpp"
+
+namespace evc::ctl {
+
+struct FuzzyOptions {
+  double error_range_c = 3.0;        ///< error normalization span
+  double error_rate_range_c_s = 0.1; ///< derivative normalization span
+  double recirculation = 0.5;        ///< fixed damper position
+  /// Integral trim gain (1/(°C·s)): the fuzzy PD surface alone leaves a
+  /// steady-state offset against sustained thermal loads; the paper's
+  /// baseline is fuzzy *on a PID substrate*, so a slow integral term
+  /// removes the offset. Anti-windup clamps the trim to ±1.
+  double integral_gain = 0.005;
+};
+
+class FuzzyController : public ClimateController {
+ public:
+  FuzzyController(hvac::HvacParams params, FuzzyOptions options = {});
+
+  std::string name() const override { return "Fuzzy"; }
+  hvac::HvacInputs decide(const ControlContext& context) override;
+  void reset() override;
+
+  /// Normalized thermal command for given crisp error/rate — exposed for
+  /// unit-testing the rule base.
+  double command(double error_c, double error_rate_c_s) const;
+
+ private:
+  hvac::HvacParams params_;
+  FuzzyOptions options_;
+  std::unique_ptr<FuzzyInference> inference_;
+  double prev_error_ = 0.0;
+  bool has_prev_ = false;
+  double integral_trim_ = 0.0;
+};
+
+}  // namespace evc::ctl

@@ -1,0 +1,39 @@
+#include "control/pid.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace evc::ctl {
+
+Pid::Pid(PidGains gains) : gains_(gains) {
+  EVC_EXPECT(gains_.output_min < gains_.output_max,
+             "PID output limits inverted");
+}
+
+double Pid::update(double error, double dt_s) {
+  EVC_EXPECT(dt_s > 0.0, "PID step must be positive");
+  const double derivative =
+      has_prev_ ? (error - prev_error_) / dt_s : 0.0;
+  prev_error_ = error;
+  has_prev_ = true;
+
+  const double unsat = gains_.kp * error + gains_.ki * integral_ +
+                       gains_.kd * derivative;
+  const double out =
+      std::clamp(unsat, gains_.output_min, gains_.output_max);
+  // Conditional integration anti-windup: freeze the integrator while the
+  // output is pinned and the error would push it further out.
+  const bool saturated_high = unsat > gains_.output_max && error > 0.0;
+  const bool saturated_low = unsat < gains_.output_min && error < 0.0;
+  if (!saturated_high && !saturated_low) integral_ += error * dt_s;
+  return out;
+}
+
+void Pid::reset() {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  has_prev_ = false;
+}
+
+}  // namespace evc::ctl

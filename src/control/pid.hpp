@@ -1,0 +1,37 @@
+// Discrete PID controller with anti-windup.
+//
+// The fuzzy baseline (paper ref [10]) is "implemented on PID controllers";
+// this class is that substrate, and is also usable standalone as a simple
+// temperature regulator in the examples.
+#pragma once
+
+namespace evc::ctl {
+
+struct PidGains {
+  double kp = 1.0;
+  double ki = 0.0;
+  double kd = 0.0;
+  double output_min = -1.0;
+  double output_max = 1.0;
+};
+
+class Pid {
+ public:
+  explicit Pid(PidGains gains);
+
+  /// One update for error `e` over `dt_s` seconds. Back-calculation
+  /// anti-windup: the integrator only accumulates while the output is not
+  /// saturated against the error direction.
+  double update(double error, double dt_s);
+
+  void reset();
+  double integral() const { return integral_; }
+
+ private:
+  PidGains gains_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool has_prev_ = false;
+};
+
+}  // namespace evc::ctl

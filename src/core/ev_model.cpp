@@ -1,0 +1,29 @@
+#include "core/ev_model.hpp"
+
+namespace evc::core {
+
+EvModel::EvModel(EvParams params, double initial_soc_percent,
+                 double initial_cabin_temp_c)
+    : params_(params), power_train_(params.vehicle),
+      hvac_plant_(params.hvac, initial_cabin_temp_c),
+      bms_(params.battery, params.bms, initial_soc_percent) {}
+
+void EvModel::reset(double soc_percent, double cabin_temp_c) {
+  bms_.start_cycle(soc_percent);
+  hvac_plant_.reset(cabin_temp_c);
+}
+
+EvStep EvModel::step(const drive::DriveSample& sample,
+                     const hvac::HvacInputs& hvac_inputs, double dt_s) {
+  EvStep out;
+  out.motor_power_w = power_train_.power(sample).electrical_power_w;
+  out.hvac = hvac_plant_.step(hvac_inputs, sample.ambient_c, dt_s);
+  out.accessory_power_w = params_.vehicle.accessory_power_w;
+  const double requested =
+      out.motor_power_w + out.hvac.power.total() + out.accessory_power_w;
+  out.total_power_w = bms_.apply_power(requested, dt_s);
+  out.soc_percent = bms_.soc_percent();
+  return out;
+}
+
+}  // namespace evc::core

@@ -1,0 +1,57 @@
+// Integrated EV model: power train + HVAC plant + battery/BMS.
+//
+// This is the "physical plant" of the co-simulation (the paper models it in
+// AMESim, Fig. 3): controllers act on it through HVAC inputs; the drive
+// profile drives the motor load; the BMS tracks SoC and cycle stress.
+#pragma once
+
+#include "battery/bms.hpp"
+#include "drivecycle/drive_profile.hpp"
+#include "hvac/hvac_plant.hpp"
+#include "powertrain/power_train.hpp"
+
+namespace evc::core {
+
+struct EvParams {
+  pt::VehicleParams vehicle = pt::nissan_leaf_params();
+  hvac::HvacParams hvac = hvac::default_hvac_params();
+  bat::BatteryParams battery = bat::leaf_24kwh_params();
+  bat::BmsLimits bms;
+};
+
+/// Per-step plant outcome.
+struct EvStep {
+  double motor_power_w = 0.0;
+  hvac::HvacStepResult hvac;
+  double accessory_power_w = 0.0;
+  double total_power_w = 0.0;    ///< as served by the BMS
+  double soc_percent = 0.0;
+};
+
+class EvModel {
+ public:
+  EvModel(EvParams params, double initial_soc_percent,
+          double initial_cabin_temp_c);
+
+  const EvParams& params() const { return params_; }
+  const pt::PowerTrain& power_train() const { return power_train_; }
+  double cabin_temp_c() const { return hvac_plant_.cabin_temp_c(); }
+  double soc_percent() const { return bms_.soc_percent(); }
+  const bat::Bms& bms() const { return bms_; }
+
+  /// Restart a discharge cycle.
+  void reset(double soc_percent, double cabin_temp_c);
+
+  /// Advance one step: motor load from the drive sample, HVAC inputs from
+  /// the controller, battery update through the BMS.
+  EvStep step(const drive::DriveSample& sample,
+              const hvac::HvacInputs& hvac_inputs, double dt_s);
+
+ private:
+  EvParams params_;
+  pt::PowerTrain power_train_;
+  hvac::HvacPlant hvac_plant_;
+  bat::Bms bms_;
+};
+
+}  // namespace evc::core

@@ -1,0 +1,53 @@
+#include "core/experiment.hpp"
+
+#include "control/fuzzy_controller.hpp"
+#include "control/onoff_controller.hpp"
+#include "util/expect.hpp"
+
+namespace evc::core {
+
+std::unique_ptr<ctl::ClimateController> make_onoff_controller(
+    const EvParams& params) {
+  return std::make_unique<ctl::OnOffController>(params.hvac);
+}
+
+std::unique_ptr<ctl::ClimateController> make_fuzzy_controller(
+    const EvParams& params) {
+  return std::make_unique<ctl::FuzzyController>(params.hvac);
+}
+
+std::unique_ptr<MpcClimateController> make_mpc_controller(
+    const EvParams& params, const MpcOptions& options) {
+  MpcOptions opts = options;
+  opts.accessory_power_w = params.vehicle.accessory_power_w;
+  return std::make_unique<MpcClimateController>(params.hvac, params.battery,
+                                                opts);
+}
+
+std::vector<ControllerRun> compare_controllers(
+    const EvParams& params, const drive::DriveProfile& profile,
+    const SimulationOptions& sim_options, const MpcOptions& mpc_options) {
+  ClimateSimulation simulation(params);
+  std::vector<ControllerRun> runs;
+
+  const auto run_one = [&](ctl::ClimateController& controller) {
+    const SimulationResult result =
+        simulation.run(controller, profile, sim_options);
+    runs.push_back({controller.name(), result.metrics});
+  };
+
+  auto onoff = make_onoff_controller(params);
+  run_one(*onoff);
+  auto fuzzy = make_fuzzy_controller(params);
+  run_one(*fuzzy);
+  auto mpc = make_mpc_controller(params, mpc_options);
+  run_one(*mpc);
+  return runs;
+}
+
+double improvement_percent(double baseline, double ours) {
+  EVC_EXPECT(baseline != 0.0, "improvement over a zero baseline");
+  return (baseline - ours) / baseline * 100.0;
+}
+
+}  // namespace evc::core

@@ -1,0 +1,40 @@
+// Experiment helpers shared by the benchmark harness and the examples:
+// controller factories and the three-way comparison (On/Off vs fuzzy vs
+// battery lifetime-aware MPC) used by every figure/table of §IV.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "core/ev_model.hpp"
+#include "core/mpc_controller.hpp"
+#include "core/simulation.hpp"
+#include "drivecycle/drive_profile.hpp"
+
+namespace evc::core {
+
+std::unique_ptr<ctl::ClimateController> make_onoff_controller(
+    const EvParams& params);
+std::unique_ptr<ctl::ClimateController> make_fuzzy_controller(
+    const EvParams& params);
+std::unique_ptr<MpcClimateController> make_mpc_controller(
+    const EvParams& params, const MpcOptions& options = {});
+
+struct ControllerRun {
+  std::string controller;
+  TripMetrics metrics;
+};
+
+/// Run all three methodologies on the same profile with identical comfort
+/// settings (the paper's fairness protocol, §IV-B).
+std::vector<ControllerRun> compare_controllers(
+    const EvParams& params, const drive::DriveProfile& profile,
+    const SimulationOptions& sim_options = {},
+    const MpcOptions& mpc_options = {});
+
+/// Percent improvement of `ours` over `baseline` (positive = ours lower).
+double improvement_percent(double baseline, double ours);
+
+}  // namespace evc::core

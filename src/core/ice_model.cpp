@@ -1,0 +1,66 @@
+#include "core/ice_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/units.hpp"
+
+namespace evc::core {
+
+IceVehicleModel::IceVehicleModel(IceParams params) : params_(params) {
+  EVC_EXPECT(params_.engine_efficiency > 0.0 &&
+                 params_.engine_efficiency < 0.5,
+             "engine efficiency outside plausible range");
+  EVC_EXPECT(params_.ac_cop > 0.0, "A/C COP must be positive");
+}
+
+PowerShare IceVehicleModel::average_power_share(
+    const drive::DriveProfile& profile) const {
+  EVC_EXPECT(!profile.empty(), "power share of empty profile");
+  const IceParams& p = params_;
+
+  double propulsion_acc = 0.0;
+  double hvac_acc = 0.0;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const drive::DriveSample& s = profile[i];
+    // Road load + inertia; braking is wasted in friction brakes (no regen).
+    const double aero = 0.5 * consts::kAirDensity * p.drag_coefficient *
+                        p.frontal_area_m2 * s.speed_mps * s.speed_mps;
+    const double roll =
+        s.speed_mps > 0.0 ? p.mass_kg * consts::kGravity * p.rolling_c0 : 0.0;
+    const double grade =
+        p.mass_kg * consts::kGravity *
+        std::sin(units::grade_percent_to_angle(s.slope_percent));
+    const double force = aero + roll + grade + p.mass_kg * s.accel_mps2;
+    const double mech = std::max(force * s.speed_mps, 0.0);
+    // Fuel-equivalent power of propulsion, plus the idle burn that keeps
+    // the engine spinning through stops and coasting.
+    propulsion_acc += mech / p.engine_efficiency + p.idle_fuel_power_w;
+
+    // Steady HVAC thermal demand to hold the target temperature.
+    const double dT = s.ambient_c - p.target_temp_c;
+    double hvac = p.fan_power_w;  // blower always runs
+    if (dT > 0.0) {
+      // Cooling: heat gain (walls+ventilation+solar) removed at the A/C
+      // COP, driven off the engine belt → fuel-equivalent power.
+      const double heat_w = p.cabin_ua_w_per_k * dT + p.solar_load_w;
+      hvac += heat_w / p.ac_cop / p.compressor_drive_efficiency /
+              p.engine_efficiency;
+    }
+    // Heating: engine coolant waste heat is free; only the blower counts.
+    hvac_acc += hvac;
+  }
+
+  PowerShare share;
+  const double n = static_cast<double>(profile.size());
+  share.propulsion_w = propulsion_acc / n;
+  share.hvac_w = hvac_acc / n;
+  // Accessories are alternator loads: electrical power converted to
+  // fuel-equivalent through the alternator (~60 %) and the engine.
+  share.accessories_w =
+      p.accessory_power_w / (0.6 * p.engine_efficiency);
+  return share;
+}
+
+}  // namespace evc::core

@@ -1,0 +1,62 @@
+// Internal-combustion comparison vehicle for the motivational study
+// (paper Fig. 1: power-share of engine / HVAC / accessories vs ambient
+// temperature, Toyota-Corolla-class).
+//
+// The paper reads these numbers off published measurements; offline we
+// regenerate them from an analytic model that captures the two effects the
+// figure illustrates: (1) cabin heating is nearly free for an ICE vehicle
+// (engine waste heat; only the fan draws useful power), and (2) cooling
+// costs engine shaft power through the belt-driven compressor.
+#pragma once
+
+#include "drivecycle/drive_profile.hpp"
+
+namespace evc::core {
+
+struct IceParams {
+  double mass_kg = 1300.0;
+  double drag_coefficient = 0.29;
+  double frontal_area_m2 = 2.10;
+  double rolling_c0 = 0.010;
+  /// Brake thermal efficiency of the engine at typical urban load.
+  double engine_efficiency = 0.25;
+  /// Fuel power burned at idle / very light load (urban driving keeps the
+  /// engine spinning regardless of demand).
+  double idle_fuel_power_w = 3000.0;
+  /// Belt + compressor conversion efficiency for the A/C drive.
+  double compressor_drive_efficiency = 0.85;
+  double ac_cop = 2.5;              ///< vapor-compression COP
+  double fan_power_w = 250.0;       ///< blower at typical speed
+  double accessory_power_w = 350.0; ///< alternator-supplied loads
+  /// Cabin steady heat-exchange coefficient with outside (W/K) including
+  /// ventilation air — used for the steady HVAC load estimate.
+  double cabin_ua_w_per_k = 70.0;
+  double solar_load_w = 400.0;
+  double target_temp_c = 24.0;
+};
+
+/// Average power of the three consumption categories over a trip, expressed
+/// as fuel-equivalent power (W) so the shares are comparable to Fig. 1.
+struct PowerShare {
+  double propulsion_w = 0.0;
+  double hvac_w = 0.0;
+  double accessories_w = 0.0;
+  double total() const { return propulsion_w + hvac_w + accessories_w; }
+  double hvac_fraction() const { return hvac_w / total(); }
+};
+
+class IceVehicleModel {
+ public:
+  explicit IceVehicleModel(IceParams params = {});
+
+  const IceParams& params() const { return params_; }
+
+  /// Average power share over `profile` with the HVAC holding the target
+  /// cabin temperature against `profile`'s ambient temperature.
+  PowerShare average_power_share(const drive::DriveProfile& profile) const;
+
+ private:
+  IceParams params_;
+};
+
+}  // namespace evc::core

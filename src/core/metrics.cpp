@@ -1,0 +1,40 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hvac/comfort.hpp"
+#include "util/expect.hpp"
+
+namespace evc::core {
+
+ComfortStats comfort_stats(const std::vector<double>& cabin_temp_c,
+                           double comfort_min_c, double comfort_max_c,
+                           double target_c) {
+  EVC_EXPECT(!cabin_temp_c.empty(), "comfort stats of empty trace");
+  EVC_EXPECT(comfort_min_c < comfort_max_c, "comfort zone inverted");
+  ComfortStats stats;
+  std::size_t outside = 0;
+  double sq_acc = 0.0;
+  double ppd_acc = 0.0;
+  for (double tz : cabin_temp_c) {
+    if (tz < comfort_min_c - 1e-9 || tz > comfort_max_c + 1e-9) ++outside;
+    const double err = tz - target_c;
+    stats.max_abs_error_c = std::max(stats.max_abs_error_c, std::abs(err));
+    sq_acc += err * err;
+    hvac::ComfortConditions conditions;
+    conditions.air_temp_c = tz;
+    conditions.radiant_temp_c = tz;
+    ppd_acc += hvac::predicted_percentage_dissatisfied(
+        hvac::predicted_mean_vote(conditions));
+  }
+  stats.avg_ppd_percent =
+      ppd_acc / static_cast<double>(cabin_temp_c.size());
+  stats.fraction_outside =
+      static_cast<double>(outside) / static_cast<double>(cabin_temp_c.size());
+  stats.rms_error_c =
+      std::sqrt(sq_acc / static_cast<double>(cabin_temp_c.size()));
+  return stats;
+}
+
+}  // namespace evc::core

@@ -1,0 +1,49 @@
+// Trip-level metrics: everything the paper's evaluation reports.
+#pragma once
+
+#include <vector>
+
+#include "battery/soh_model.hpp"
+
+namespace evc::core {
+
+struct ComfortStats {
+  /// Fraction of samples with Tz outside the comfort zone.
+  double fraction_outside = 0.0;
+  double max_abs_error_c = 0.0;  ///< |Tz − Ttarget| worst case
+  double rms_error_c = 0.0;
+  /// Trip-average Predicted Percentage Dissatisfied (Fanger PMV/PPD at the
+  /// cabin temperature, nominal in-cabin conditions). ≥ 5 by construction.
+  double avg_ppd_percent = 5.0;
+};
+
+struct TripMetrics {
+  double duration_s = 0.0;
+  double distance_km = 0.0;
+
+  double avg_motor_power_w = 0.0;
+  double avg_hvac_power_w = 0.0;   ///< Fig. 8 / Table I quantity
+  double avg_total_power_w = 0.0;
+  double hvac_energy_j = 0.0;
+  double total_energy_j = 0.0;
+
+  double initial_soc_percent = 0.0;
+  double final_soc_percent = 0.0;
+  bat::CycleStress stress;          ///< SoCdev / SoCavg of the drive
+  double delta_soh_percent = 0.0;   ///< Fig. 7 / Table I quantity
+  double cycles_to_end_of_life = 0.0;
+
+  double consumption_wh_per_km = 0.0;
+  /// Simple BMS-style range estimate: usable pack energy at this trip's
+  /// consumption rate.
+  double estimated_range_km = 0.0;
+
+  ComfortStats comfort;
+};
+
+/// Comfort statistics of a cabin-temperature trace.
+ComfortStats comfort_stats(const std::vector<double>& cabin_temp_c,
+                           double comfort_min_c, double comfort_max_c,
+                           double target_c);
+
+}  // namespace evc::core

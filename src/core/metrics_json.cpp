@@ -1,0 +1,58 @@
+#include "core/metrics_json.hpp"
+
+#include "util/json.hpp"
+
+namespace evc::core {
+
+namespace {
+
+void write_metrics(JsonWriter& json, const TripMetrics& m) {
+  json.begin_object();
+  json.key("duration_s").value(m.duration_s);
+  json.key("distance_km").value(m.distance_km);
+  json.key("avg_motor_power_w").value(m.avg_motor_power_w);
+  json.key("avg_hvac_power_w").value(m.avg_hvac_power_w);
+  json.key("avg_total_power_w").value(m.avg_total_power_w);
+  json.key("hvac_energy_j").value(m.hvac_energy_j);
+  json.key("total_energy_j").value(m.total_energy_j);
+  json.key("initial_soc_percent").value(m.initial_soc_percent);
+  json.key("final_soc_percent").value(m.final_soc_percent);
+  json.key("soc_deviation_percent").value(m.stress.soc_deviation);
+  json.key("soc_average_percent").value(m.stress.soc_average);
+  json.key("delta_soh_percent").value(m.delta_soh_percent);
+  json.key("cycles_to_end_of_life").value(m.cycles_to_end_of_life);
+  json.key("consumption_wh_per_km").value(m.consumption_wh_per_km);
+  json.key("estimated_range_km").value(m.estimated_range_km);
+  json.key("comfort");
+  json.begin_object();
+  json.key("fraction_outside").value(m.comfort.fraction_outside);
+  json.key("max_abs_error_c").value(m.comfort.max_abs_error_c);
+  json.key("rms_error_c").value(m.comfort.rms_error_c);
+  json.key("avg_ppd_percent").value(m.comfort.avg_ppd_percent);
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const TripMetrics& metrics) {
+  JsonWriter json;
+  write_metrics(json, metrics);
+  return json.str();
+}
+
+std::string to_json(const std::vector<ControllerRun>& runs) {
+  JsonWriter json;
+  json.begin_array();
+  for (const ControllerRun& run : runs) {
+    json.begin_object();
+    json.key("controller").value(run.controller);
+    json.key("metrics");
+    write_metrics(json, run.metrics);
+    json.end_object();
+  }
+  json.end_array();
+  return json.str();
+}
+
+}  // namespace evc::core

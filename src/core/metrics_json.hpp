@@ -1,0 +1,19 @@
+// JSON export of experiment results for external tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+
+namespace evc::core {
+
+/// One TripMetrics as a JSON object string.
+std::string to_json(const TripMetrics& metrics);
+
+/// A controller comparison (e.g. from compare_controllers) as a JSON array
+/// of {controller, metrics} objects.
+std::string to_json(const std::vector<ControllerRun>& runs);
+
+}  // namespace evc::core

@@ -1,0 +1,151 @@
+#include "core/mpc_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::core {
+
+MpcClimateController::MpcClimateController(hvac::HvacParams hvac_params,
+                                           bat::BatteryParams battery_params,
+                                           MpcOptions options)
+    : hvac_(hvac_params), battery_(battery_params), options_(options),
+      solver_(options.sqp) {
+  hvac_.validate();
+  battery_.validate();
+  EVC_EXPECT(options_.horizon >= 2, "MPC horizon must be at least 2 steps");
+  EVC_EXPECT(options_.step_s > 0.0, "MPC step must be positive");
+}
+
+void MpcClimateController::reset() {
+  last_solution_.reset();
+  held_input_.reset();
+  next_plan_time_s_ = 0.0;
+  planned_soc_.clear();
+  stats_ = MpcPlanStats{};
+}
+
+MpcWindowData MpcClimateController::make_window(
+    const ctl::ControlContext& context) const {
+  MpcWindowData window;
+  window.dt_s = options_.step_s;
+  window.initial_cabin_temp_c = context.cabin_temp_c;
+  window.initial_soc_percent = context.soc_percent;
+  window.soc_reference = options_.soc_reference;
+  window.nonlinear_battery = options_.nonlinear_battery;
+  window.fixed_power_kw.resize(options_.horizon);
+  window.outside_temp_c.resize(options_.horizon);
+
+  // Bin the per-sample forecast into MPC steps, padding past its end with
+  // the last known value (near the trip's end the horizon outlives the
+  // profile — Algorithm 1 clamps there too).
+  const auto& power = context.motor_power_forecast_w;
+  const auto& temp = context.outside_temp_forecast_c;
+  const double sample_dt = context.dt_s;
+  const std::size_t per_bin = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::round(options_.step_s / sample_dt)));
+
+  for (std::size_t k = 0; k < options_.horizon; ++k) {
+    double power_acc = 0.0;
+    for (std::size_t j = 0; j < per_bin; ++j) {
+      const std::size_t i = k * per_bin + j;
+      const double p =
+          power.empty()
+              ? 0.0
+              : power[std::min(i, power.size() - 1)];
+      power_acc += p;
+    }
+    window.fixed_power_kw[k] =
+        (power_acc / static_cast<double>(per_bin) +
+         options_.accessory_power_w) /
+        1000.0;
+    const std::size_t i0 = k * per_bin;
+    window.outside_temp_c[k] =
+        temp.empty() ? context.outside_temp_c
+                     : temp[std::min(i0, temp.size() - 1)];
+  }
+  return window;
+}
+
+num::Vector MpcClimateController::warm_start(
+    const MpcFormulation& formulation) const {
+  const num::Vector cold = formulation.cold_start();
+  if (!last_solution_ || last_solution_->size() != cold.size()) return cold;
+
+  // Shift the previous plan one step forward; duplicate the tail.
+  const MpcIndex& idx = formulation.index();
+  const std::size_t n = idx.horizon();
+  const num::Vector& prev = *last_solution_;
+  num::Vector z = prev;
+  for (std::size_t k = 0; k < n; ++k) {
+    z[idx.x(k)] = prev[idx.x(std::min(k + 1, n))];
+    z[idx.soc(k)] = prev[idx.soc(std::min(k + 1, n))];
+    const std::size_t src = std::min(k + 1, n - 1);
+    z[idx.ts(k)] = prev[idx.ts(src)];
+    z[idx.tc(k)] = prev[idx.tc(src)];
+    z[idx.dr(k)] = prev[idx.dr(src)];
+    z[idx.mz(k)] = prev[idx.mz(src)];
+    z[idx.tm(k)] = prev[idx.tm(src)];
+    z[idx.ph(k)] = prev[idx.ph(src)];
+    z[idx.pc(k)] = prev[idx.pc(src)];
+    z[idx.pf(k)] = prev[idx.pf(src)];
+    z[idx.slack(k)] = prev[idx.slack(src)];
+  }
+  z[idx.x(n)] = prev[idx.x(n)];
+  z[idx.soc(n)] = prev[idx.soc(n)];
+  return z;
+}
+
+hvac::HvacInputs MpcClimateController::fallback_inputs(
+    const ctl::ControlContext& context) const {
+  if (held_input_) return *held_input_;
+  // Safe idle: minimum ventilation, coils pass-through.
+  hvac::HvacInputs in;
+  in.recirculation = 0.5;
+  const double tm = (1.0 - in.recirculation) * context.outside_temp_c +
+                    in.recirculation * context.cabin_temp_c;
+  in.air_flow_kg_s = hvac_.min_air_flow_kg_s;
+  in.coil_temp_c = tm;
+  in.supply_temp_c = tm;
+  return in;
+}
+
+hvac::HvacInputs MpcClimateController::decide(
+    const ctl::ControlContext& context) {
+  // Zero-order hold between planning instants.
+  if (held_input_ && context.time_s + 1e-9 < next_plan_time_s_)
+    return *held_input_;
+
+  const MpcWindowData window = make_window(context);
+  MpcFormulation formulation(hvac_, battery_, options_.weights, window);
+  const num::Vector z0 = warm_start(formulation);
+
+  ++stats_.plans;
+  const opt::SqpResult result = solver_.solve(formulation, z0);
+  stats_.sqp_iterations += result.iterations;
+  stats_.qp_iterations += result.qp_iterations_total;
+
+  hvac::HvacInputs input;
+  if (result.usable() && result.constraint_violation < 0.5) {
+    const MpcIndex& idx = formulation.index();
+    input.supply_temp_c = result.x[idx.ts(0)];
+    input.coil_temp_c = result.x[idx.tc(0)];
+    input.recirculation = result.x[idx.dr(0)];
+    input.air_flow_kg_s = result.x[idx.mz(0)];
+    last_solution_ = result.x;
+    planned_soc_.assign(idx.horizon() + 1, 0.0);
+    for (std::size_t k = 0; k <= idx.horizon(); ++k)
+      planned_soc_[k] = result.x[idx.soc(k)];
+  } else {
+    ++stats_.failures;
+    input = fallback_inputs(context);
+    last_solution_.reset();  // stale plans make poor warm starts
+  }
+
+  held_input_ = input;
+  next_plan_time_s_ = context.time_s + options_.step_s;
+  return input;
+}
+
+}  // namespace evc::core

@@ -1,0 +1,69 @@
+#include "core/multizone_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::core {
+
+MultiZoneSupervisor::MultiZoneSupervisor(
+    std::unique_ptr<ctl::ClimateController> supply_controller,
+    hvac::MultiZoneParams params, ZoneSplitOptions options)
+    : supply_(std::move(supply_controller)), params_(std::move(params)),
+      options_(options) {
+  EVC_EXPECT(supply_ != nullptr, "supervisor needs a supply controller");
+  params_.validate();
+  EVC_EXPECT(options_.gain >= 0.0, "split gain must be >= 0");
+  EVC_EXPECT(options_.min_share >= 0.0 &&
+                 options_.min_share * static_cast<double>(params_.num_zones()) <
+                     1.0 + 1e-9,
+             "zone share floor infeasible");
+}
+
+std::vector<double> MultiZoneSupervisor::compute_split(
+    const std::vector<double>& zone_temps_c, double target_c,
+    double supply_temp_c) const {
+  const std::size_t n = params_.num_zones();
+  EVC_EXPECT(zone_temps_c.size() == n, "zone temperature count mismatch");
+
+  // Benefit of supply air for zone i: the supply moves the zone toward
+  // (supply − Tz_i); its usefulness is how aligned that is with the error
+  // (target − Tz_i). Softmax over benefits with a per-zone floor.
+  std::vector<double> weight(n);
+  double max_benefit = -1e18;
+  std::vector<double> benefit(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double toward_target = target_c - zone_temps_c[i];
+    const double supply_effect = supply_temp_c - zone_temps_c[i];
+    // Signed alignment in K: positive when the supply helps this zone.
+    benefit[i] = toward_target * (supply_effect >= 0.0 ? 1.0 : -1.0);
+    max_benefit = std::max(max_benefit, benefit[i]);
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weight[i] = std::exp(options_.gain * (benefit[i] - max_benefit));
+    sum += weight[i];
+  }
+  // Normalize with the floor: shares = floor + (1 − n·floor)·softmax.
+  const double spread =
+      1.0 - options_.min_share * static_cast<double>(n);
+  std::vector<double> split(n);
+  for (std::size_t i = 0; i < n; ++i)
+    split[i] = options_.min_share + spread * weight[i] / sum;
+  return split;
+}
+
+hvac::MultiZonePlant::StepResult MultiZoneSupervisor::step(
+    hvac::MultiZonePlant& plant, const ctl::ControlContext& context,
+    double dt_s) {
+  ctl::ControlContext mean_context = context;
+  mean_context.cabin_temp_c = plant.mean_cabin_temp_c();
+  const hvac::HvacInputs inputs = supply_->decide(mean_context);
+  last_split_ = compute_split(plant.zone_temps_c(),
+                              params_.base.target_temp_c,
+                              inputs.supply_temp_c);
+  return plant.step(inputs, last_split_, context.outside_temp_c, dt_s);
+}
+
+}  // namespace evc::core

@@ -1,0 +1,63 @@
+// Hierarchical multi-zone climate control.
+//
+// The paper's MPC is single-zone (§II-C). The practical multi-zone
+// architecture — used in production VAV systems — is hierarchical: a
+// single-zone *supply controller* (here: any ClimateController, including
+// the battery lifetime-aware MPC) regulates the capacitance-weighted mean
+// cabin temperature, while a fast inner loop steers the per-zone flow
+// split toward the zones that are furthest from target on the supply's
+// side of the error. This composes the paper's contribution with the
+// multi-zone plant without re-deriving the MPC for M zones.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "hvac/multizone.hpp"
+
+namespace evc::core {
+
+struct ZoneSplitOptions {
+  /// Split sensitivity: share_i ∝ exp(gain · benefit_i), where benefit_i
+  /// is how much supply air would move zone i toward the target (K).
+  double gain = 0.8;
+  /// Floor on any zone's share (every zone keeps some ventilation).
+  double min_share = 0.1;
+};
+
+class MultiZoneSupervisor {
+ public:
+  MultiZoneSupervisor(std::unique_ptr<ctl::ClimateController> supply_controller,
+                      hvac::MultiZoneParams params,
+                      ZoneSplitOptions options = {});
+
+  const ctl::ClimateController& supply_controller() const {
+    return *supply_;
+  }
+
+  /// One step: feed the mean temperature to the supply controller, compute
+  /// the zone split from the per-zone errors and the supply temperature,
+  /// apply both to the plant.
+  hvac::MultiZonePlant::StepResult step(hvac::MultiZonePlant& plant,
+                                        const ctl::ControlContext& context,
+                                        double dt_s);
+
+  /// The split computed by the most recent step (empty before any step).
+  const std::vector<double>& last_split() const { return last_split_; }
+
+  /// Split policy in isolation (exposed for testing): given per-zone
+  /// temperatures, the target, and the supply temperature, returns
+  /// normalized shares.
+  std::vector<double> compute_split(const std::vector<double>& zone_temps_c,
+                                    double target_c,
+                                    double supply_temp_c) const;
+
+ private:
+  std::unique_ptr<ctl::ClimateController> supply_;
+  hvac::MultiZoneParams params_;
+  ZoneSplitOptions options_;
+  std::vector<double> last_split_;
+};
+
+}  // namespace evc::core

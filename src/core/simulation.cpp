@@ -1,0 +1,121 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::core {
+
+ClimateSimulation::ClimateSimulation(EvParams params) : params_(params) {
+  params_.vehicle.validate();
+  params_.hvac.validate();
+  params_.battery.validate();
+}
+
+SimulationResult ClimateSimulation::run(
+    ctl::ClimateController& controller, const drive::DriveProfile& profile,
+    const SimulationOptions& options) const {
+  EVC_EXPECT(!profile.empty(), "simulation needs a non-empty drive profile");
+  EVC_EXPECT(options.initial_soc_percent > 0.0 &&
+                 options.initial_soc_percent <= 100.0,
+             "initial SoC outside (0, 100]");
+  const double dt = profile.dt();
+  const std::size_t n = profile.size();
+  const double cabin0 =
+      options.initial_cabin_temp_c.value_or(params_.hvac.target_temp_c);
+
+  controller.reset();
+  EvModel ev(params_, options.initial_soc_percent, cabin0);
+
+  // Algorithm 1 lines 2–5: motor power from the drive profile, known for
+  // the whole trip before departure (GPS route knowledge).
+  std::vector<double> motor_power(n);
+  for (std::size_t i = 0; i < n; ++i)
+    motor_power[i] = ev.power_train().power(profile[i]).electrical_power_w;
+
+  const std::size_t forecast_samples = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::round(options.forecast_horizon_s / dt)));
+
+  SimulationResult result;
+  std::vector<double> cabin_trace;
+  std::vector<double> hvac_power_trace;
+  cabin_trace.reserve(n);
+  hvac_power_trace.reserve(n);
+  double motor_acc = 0.0, hvac_acc = 0.0, total_acc = 0.0;
+
+  for (std::size_t t = 0; t < n; ++t) {
+    // Algorithm 1 lines 14–15: receding-horizon forecast.
+    ctl::ControlContext context;
+    context.time_s = static_cast<double>(t) * dt;
+    context.dt_s = dt;
+    context.cabin_temp_c = ev.cabin_temp_c();
+    context.outside_temp_c = profile[t].ambient_c;
+    context.soc_percent = ev.soc_percent();
+    context.motor_power_forecast_w.resize(forecast_samples);
+    context.outside_temp_forecast_c.resize(forecast_samples);
+    for (std::size_t j = 0; j < forecast_samples; ++j) {
+      const std::size_t i = std::min(t + j, n - 1);
+      context.motor_power_forecast_w[j] = motor_power[i];
+      context.outside_temp_forecast_c[j] = profile[i].ambient_c;
+    }
+
+    // Algorithm 1 lines 16–22: decide, apply to the plant, update battery.
+    const hvac::HvacInputs inputs = controller.decide(context);
+    const EvStep step = ev.step(profile[t], inputs, dt);
+
+    cabin_trace.push_back(step.hvac.cabin_temp_c);
+    hvac_power_trace.push_back(step.hvac.power.total());
+    motor_acc += step.motor_power_w;
+    hvac_acc += step.hvac.power.total();
+    total_acc += step.total_power_w;
+
+    if (options.record_traces) {
+      const double time = context.time_s;
+      result.recorder.record("cabin_temp_c", time, step.hvac.cabin_temp_c);
+      result.recorder.record("outside_temp_c", time, profile[t].ambient_c);
+      result.recorder.record("motor_power_w", time, step.motor_power_w);
+      result.recorder.record("hvac_power_w", time, step.hvac.power.total());
+      result.recorder.record("heater_w", time, step.hvac.power.heater_w);
+      result.recorder.record("cooler_w", time, step.hvac.power.cooler_w);
+      result.recorder.record("fan_w", time, step.hvac.power.fan_w);
+      result.recorder.record("soc_percent", time, step.soc_percent);
+      result.recorder.record("speed_mps", time, profile[t].speed_mps);
+    }
+  }
+
+  // Algorithm 1 line 23: ΔSoH of the discharge cycle.
+  TripMetrics& m = result.metrics;
+  const double dn = static_cast<double>(n);
+  m.duration_s = profile.duration();
+  m.distance_km = profile.total_distance_m() / 1000.0;
+  m.avg_motor_power_w = motor_acc / dn;
+  m.avg_hvac_power_w = hvac_acc / dn;
+  m.avg_total_power_w = total_acc / dn;
+  m.hvac_energy_j = hvac_acc * dt;
+  m.total_energy_j = total_acc * dt;
+  m.initial_soc_percent = options.initial_soc_percent;
+  m.final_soc_percent = ev.soc_percent();
+  m.stress = ev.bms().cycle_stress();
+  m.delta_soh_percent = ev.bms().cycle_delta_soh();
+  {
+    bat::SohModel soh(params_.battery);
+    m.cycles_to_end_of_life = soh.cycles_to_end_of_life(m.delta_soh_percent);
+  }
+  if (m.distance_km > 1e-6) {
+    m.consumption_wh_per_km = m.total_energy_j / 3600.0 / m.distance_km;
+    const double usable_wh = params_.battery.nominal_capacity_ah *
+                             params_.battery.nominal_voltage_v *
+                             (options.initial_soc_percent -
+                              params_.bms.min_soc_percent) /
+                             100.0;
+    if (m.consumption_wh_per_km > 1e-9)
+      m.estimated_range_km = usable_wh / m.consumption_wh_per_km;
+  }
+  m.comfort = comfort_stats(cabin_trace, params_.hvac.comfort_min_c,
+                            params_.hvac.comfort_max_c,
+                            params_.hvac.target_temp_c);
+  return result;
+}
+
+}  // namespace evc::core

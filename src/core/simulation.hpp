@@ -1,0 +1,53 @@
+// Driving-time closed-loop co-simulation (paper Algorithm 1).
+//
+// Runs a climate controller against the EV plant over a drive profile:
+//   line 2–5   motor power pre-computed from the profile,
+//   line 13–22 per-step loop: forecast window → controller → HVAC plant →
+//              BMS SoC update,
+//   line 23    ΔSoH of the completed discharge cycle.
+#pragma once
+
+#include <optional>
+
+#include "control/controller.hpp"
+#include "core/ev_model.hpp"
+#include "core/metrics.hpp"
+#include "drivecycle/drive_profile.hpp"
+#include "sim/recorder.hpp"
+
+namespace evc::core {
+
+struct SimulationOptions {
+  double initial_soc_percent = 90.0;
+  /// Cabin temperature at departure; defaults to the comfort target (the
+  /// paper evaluates regulation, not pull-down — override for pull-down
+  /// scenarios).
+  std::optional<double> initial_cabin_temp_c;
+  /// How much of the drive profile the controller may look ahead (s).
+  double forecast_horizon_s = 120.0;
+  /// Record full traces (disable for parameter sweeps to save memory).
+  bool record_traces = true;
+};
+
+struct SimulationResult {
+  TripMetrics metrics;
+  /// Channels: cabin_temp_c, outside_temp_c, motor_power_w, hvac_power_w,
+  /// heater_w, cooler_w, fan_w, soc_percent, speed_mps.
+  sim::StateRecorder recorder;
+};
+
+class ClimateSimulation {
+ public:
+  explicit ClimateSimulation(EvParams params);
+
+  const EvParams& params() const { return params_; }
+
+  SimulationResult run(ctl::ClimateController& controller,
+                       const drive::DriveProfile& profile,
+                       const SimulationOptions& options = {}) const;
+
+ private:
+  EvParams params_;
+};
+
+}  // namespace evc::core

@@ -1,0 +1,74 @@
+#include "core/trip_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace evc::core {
+
+TripPlanner::TripPlanner(EvParams params)
+    : params_(params), power_train_(params.vehicle),
+      inverter_(params.vehicle.max_motor_power_w),
+      dcdc_(1500.0, 0.93) {}
+
+double TripPlanner::steady_hvac_power_w(double ambient_c) const {
+  const hvac::HvacParams& p = params_.hvac;
+  const double target = p.target_temp_c;
+  const double mz = 0.1;   // mid blower
+  const double dr = 0.5;   // mid damper
+  // Net thermal load on the cabin at the target temperature.
+  const double q = p.solar_load_w + p.wall_ua_w_per_k * (ambient_c - target);
+  // Supply temperature that holds the target, clamped to the envelope.
+  double ts = target - q / (mz * p.air_cp);
+  ts = std::clamp(ts, p.min_coil_temp_c, p.max_supply_temp_c);
+  const double tm = (1.0 - dr) * ambient_c + dr * target;
+
+  double power = p.fan_coefficient * mz * mz;
+  if (ts < tm) {
+    power += p.air_cp / p.cooler_efficiency * mz * (tm - ts);
+  } else {
+    power += p.air_cp / p.heater_efficiency * mz * (ts - tm);
+  }
+  return power;
+}
+
+TripPlan TripPlanner::plan(const drive::DriveProfile& profile,
+                           double initial_soc,
+                           double nominal_hvac_power_w) const {
+  EVC_EXPECT(!profile.empty(), "trip plan needs a non-empty profile");
+  EVC_EXPECT(initial_soc > 0.0 && initial_soc <= 100.0,
+             "initial SoC outside (0, 100]");
+  EVC_EXPECT(nominal_hvac_power_w >= 0.0, "HVAC estimate must be >= 0");
+
+  bat::BatteryPack pack(params_.battery, initial_soc);
+  const double plateau = inverter_.efficiency(0.5 * inverter_.rated_power_w());
+
+  TripPlan plan;
+  plan.predicted_soc.reserve(profile.size());
+  double min_soc = initial_soc;
+
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const double motor = power_train_.power(profile[i]).electrical_power_w;
+    // The motor map folds the inverter's *fixed* loss; apply only the
+    // load-dependent excess of the inverter curve on top (≥ 1 at light
+    // load, ≈ 1 on the plateau).
+    double motor_dc = motor;
+    if (motor > 0.0)
+      motor_dc = motor * plateau / inverter_.efficiency(motor);
+    const double total = motor_dc + nominal_hvac_power_w +
+                         dcdc_.input_power(params_.vehicle.accessory_power_w);
+    pack.step(total, profile.dt());
+    plan.predicted_energy_j += total * profile.dt();
+    plan.predicted_soc.push_back(pack.soc_percent());
+    min_soc = std::min(min_soc, pack.soc_percent());
+  }
+
+  plan.predicted_final_soc = pack.soc_percent();
+  plan.predicted_cycle_avg_soc = mean_of(plan.predicted_soc);
+  plan.reachable = min_soc > params_.bms.min_soc_percent;
+  return plan;
+}
+
+}  // namespace evc::core

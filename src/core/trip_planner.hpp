@@ -1,0 +1,54 @@
+// Route-based trip planning (paper §I: "[3][7] have illustrated that the
+// BMS may predict and optimize the energy consumption more efficiently by
+// having the route information"; §II-A: the route and its per-segment
+// parameters "are known accurately before driving").
+//
+// Before departure the planner rolls the power train (with the explicit
+// power-electronics maps) and a nominal HVAC load over the whole drive
+// profile to predict the SoC trajectory. Products:
+//  * reachability — will the trip complete above the BMS floor?
+//  * the predicted cycle-average SoC — the SoCavg the paper's cost
+//    function Eq. 21 references (see MpcWindowData::soc_reference);
+//  * a per-sample SoC forecast for range/charge planning UIs.
+#pragma once
+
+#include <vector>
+
+#include "core/ev_model.hpp"
+#include "drivecycle/drive_profile.hpp"
+#include "powertrain/power_electronics.hpp"
+
+namespace evc::core {
+
+struct TripPlan {
+  /// Predicted SoC per profile sample (percent), Peukert included.
+  std::vector<double> predicted_soc;
+  double predicted_final_soc = 0.0;
+  double predicted_cycle_avg_soc = 0.0;  ///< the paper's SoCavg
+  double predicted_energy_j = 0.0;       ///< battery-side, whole trip
+  bool reachable = false;  ///< final SoC stays above the BMS floor
+};
+
+class TripPlanner {
+ public:
+  explicit TripPlanner(EvParams params);
+
+  /// Predict the trip from `initial_soc` assuming the HVAC draws a
+  /// constant `nominal_hvac_power_w` (the pre-drive estimate; the paper's
+  /// related work treats HVAC as exactly such a constant).
+  TripPlan plan(const drive::DriveProfile& profile, double initial_soc,
+                double nominal_hvac_power_w) const;
+
+  /// Steady-state HVAC power needed to hold the comfort target at
+  /// `ambient_c` with a mid damper setting — a physically grounded default
+  /// for `plan`'s nominal HVAC power.
+  double steady_hvac_power_w(double ambient_c) const;
+
+ private:
+  EvParams params_;
+  pt::PowerTrain power_train_;
+  pt::TractionInverter inverter_;
+  pt::DcDcConverter dcdc_;
+};
+
+}  // namespace evc::core

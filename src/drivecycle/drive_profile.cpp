@@ -1,0 +1,54 @@
+#include "drivecycle/drive_profile.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace evc::drive {
+
+DriveProfile::DriveProfile(std::string name, double dt,
+                           std::vector<DriveSample> samples)
+    : name_(std::move(name)), dt_(dt), samples_(std::move(samples)) {
+  EVC_EXPECT(dt_ > 0.0, "drive profile sample period must be positive");
+  for (const DriveSample& s : samples_) {
+    EVC_EXPECT(s.speed_mps >= 0.0, "drive profile speed must be >= 0");
+    EVC_EXPECT(s.ambient_c > -60.0 && s.ambient_c < 70.0,
+               "ambient temperature outside plausible range");
+  }
+}
+
+const DriveSample& DriveProfile::clamped(std::size_t i) const {
+  EVC_EXPECT(!samples_.empty(), "clamped() on empty profile");
+  return samples_[std::min(i, samples_.size() - 1)];
+}
+
+double DriveProfile::total_distance_m() const {
+  double dist = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i)
+    dist += 0.5 * (samples_[i - 1].speed_mps + samples_[i].speed_mps) * dt_;
+  return dist;
+}
+
+double DriveProfile::max_speed_mps() const {
+  double m = 0.0;
+  for (const DriveSample& s : samples_) m = std::max(m, s.speed_mps);
+  return m;
+}
+
+double DriveProfile::average_speed_mps() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const DriveSample& s : samples_) acc += s.speed_mps;
+  return acc / static_cast<double>(samples_.size());
+}
+
+DriveProfile DriveProfile::window(std::size_t start, std::size_t count) const {
+  std::vector<DriveSample> out;
+  out.reserve(count);
+  for (std::size_t i = start; i < std::min(start + count, samples_.size());
+       ++i)
+    out.push_back(samples_[i]);
+  return DriveProfile(name_ + "-window", dt_, std::move(out));
+}
+
+}  // namespace evc::drive

@@ -1,0 +1,55 @@
+// Drive profile: the multi-variable environment input of the paper (§II-A).
+//
+// A drive profile is discrete-time sampled data describing the environment
+// the EV drives through: vehicle speed, acceleration, road slope, and
+// ambient temperature per sample. It is the single input of both the power
+// train estimator and the MPC's receding horizon.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace evc::drive {
+
+/// One sample of the environment (SI units; slope in percent grade where
+/// 100 % = 45°; temperature in °C).
+struct DriveSample {
+  double speed_mps = 0.0;
+  double accel_mps2 = 0.0;
+  double slope_percent = 0.0;
+  double ambient_c = 20.0;
+};
+
+class DriveProfile {
+ public:
+  DriveProfile() = default;
+  /// `dt` is the sample period in seconds.
+  DriveProfile(std::string name, double dt, std::vector<DriveSample> samples);
+
+  const std::string& name() const { return name_; }
+  double dt() const { return dt_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double duration() const { return dt_ * static_cast<double>(size()); }
+
+  const DriveSample& operator[](std::size_t i) const { return samples_[i]; }
+  /// Sample at index i, clamped to the final sample past the end (the MPC
+  /// horizon may extend beyond the profile near the trip's end).
+  const DriveSample& clamped(std::size_t i) const;
+
+  /// Total distance driven (trapezoidal integral of speed), meters.
+  double total_distance_m() const;
+  double max_speed_mps() const;
+  double average_speed_mps() const;  ///< includes stops
+
+  /// Copy of samples [start, start+count), clamped to the profile end.
+  DriveProfile window(std::size_t start, std::size_t count) const;
+
+ private:
+  std::string name_;
+  double dt_ = 1.0;
+  std::vector<DriveSample> samples_;
+};
+
+}  // namespace evc::drive

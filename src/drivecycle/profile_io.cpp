@@ -1,0 +1,91 @@
+#include "drivecycle/profile_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/expect.hpp"
+
+namespace evc::drive {
+
+void save_profile_csv(const DriveProfile& profile, const std::string& path) {
+  CsvWriter csv(path,
+                {"speed_mps", "accel_mps2", "slope_percent", "ambient_c"});
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const DriveSample& s = profile[i];
+    csv.write_row({s.speed_mps, s.accel_mps2, s.slope_percent, s.ambient_c});
+  }
+}
+
+namespace {
+
+std::vector<double> parse_row(const std::string& line, std::size_t lineno) {
+  std::vector<double> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(cell, &consumed);
+    } catch (const std::exception&) {
+      EVC_EXPECT(false, "non-numeric cell '" + cell + "' at line " +
+                            std::to_string(lineno));
+    }
+    EVC_EXPECT(consumed == cell.size() || cell[consumed] == ' ',
+               "trailing garbage in cell at line " + std::to_string(lineno));
+    cells.push_back(value);
+  }
+  return cells;
+}
+
+}  // namespace
+
+DriveProfile load_profile_csv(const std::string& path,
+                              const std::string& name, double dt) {
+  std::ifstream in(path);
+  EVC_EXPECT(in.good(), "cannot open drive profile CSV: " + path);
+
+  std::string line;
+  EVC_EXPECT(static_cast<bool>(std::getline(in, line)),
+             "drive profile CSV is empty: " + path);
+  // The first line is a header (any text); data starts at line 2.
+
+  std::vector<DriveSample> samples;
+  std::size_t lineno = 1;
+  std::size_t expected_cols = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::vector<double> cells = parse_row(line, lineno);
+    EVC_EXPECT(cells.size() == 3 || cells.size() == 4,
+               "expected 3 or 4 columns at line " + std::to_string(lineno));
+    if (expected_cols == 0) expected_cols = cells.size();
+    EVC_EXPECT(cells.size() == expected_cols,
+               "inconsistent column count at line " + std::to_string(lineno));
+    DriveSample s;
+    s.speed_mps = cells[0];
+    if (cells.size() == 4) {
+      s.accel_mps2 = cells[1];
+      s.slope_percent = cells[2];
+      s.ambient_c = cells[3];
+    } else {
+      s.slope_percent = cells[1];
+      s.ambient_c = cells[2];
+    }
+    samples.push_back(s);
+  }
+  EVC_EXPECT(!samples.empty(), "drive profile CSV has no data rows: " + path);
+
+  if (expected_cols == 3) {
+    // Reconstruct acceleration by forward differences.
+    for (std::size_t i = 0; i + 1 < samples.size(); ++i)
+      samples[i].accel_mps2 =
+          (samples[i + 1].speed_mps - samples[i].speed_mps) / dt;
+    samples.back().accel_mps2 = 0.0;
+  }
+  return DriveProfile(name, dt, std::move(samples));
+}
+
+}  // namespace evc::drive

@@ -1,0 +1,28 @@
+// Drive-profile CSV I/O.
+//
+// Lets users feed real logged routes into the simulator (the paper's
+// Google-Maps/NOAA pipeline produces exactly such tables) and round-trip
+// profiles between tools. Format: header row, then one sample per line:
+//
+//   speed_mps,accel_mps2,slope_percent,ambient_c
+//
+// Column order is fixed; `accel_mps2` may be omitted (3-column form), in
+// which case it is reconstructed by forward differences.
+#pragma once
+
+#include <string>
+
+#include "drivecycle/drive_profile.hpp"
+
+namespace evc::drive {
+
+/// Write `profile` to `path`. Throws std::invalid_argument on I/O failure.
+void save_profile_csv(const DriveProfile& profile, const std::string& path);
+
+/// Load a profile from `path` with sample period `dt`. Throws
+/// std::invalid_argument on malformed input (wrong column count,
+/// non-numeric cells, physically invalid values).
+DriveProfile load_profile_csv(const std::string& path,
+                              const std::string& name, double dt = 1.0);
+
+}  // namespace evc::drive

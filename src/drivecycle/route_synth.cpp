@@ -1,0 +1,125 @@
+#include "drivecycle/route_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace evc::drive {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Append a linear speed ramp of `duration` seconds ending at `v_end`.
+void ramp(std::vector<double>& speed, double dt, double duration,
+          double v_end) {
+  if (speed.empty()) speed.push_back(0.0);
+  const double v_start = speed.back();
+  const std::size_t steps =
+      std::max<std::size_t>(1, static_cast<std::size_t>(duration / dt));
+  for (std::size_t i = 1; i <= steps; ++i)
+    speed.push_back(v_start +
+                    (v_end - v_start) * static_cast<double>(i) /
+                        static_cast<double>(steps));
+}
+
+void hold(std::vector<double>& speed, double dt, double duration) {
+  if (speed.empty()) speed.push_back(0.0);
+  const double v = speed.back();
+  const std::size_t steps = static_cast<std::size_t>(duration / dt);
+  for (std::size_t i = 0; i < steps; ++i) speed.push_back(v);
+}
+
+}  // namespace
+
+DriveProfile synthesize_route(const RouteSynthOptions& options) {
+  EVC_EXPECT(options.dt > 0.0, "route dt must be positive");
+  EVC_EXPECT(options.trip_duration_s >= 60.0,
+             "route must be at least one minute long");
+  EVC_EXPECT(options.urban_fraction >= 0.0 && options.urban_fraction <= 1.0,
+             "urban fraction must be in [0, 1]");
+  EVC_EXPECT(options.hilliness_percent >= 0.0, "hilliness must be >= 0");
+
+  SplitMix64 rng(options.seed);
+  const double dt = options.dt;
+  std::vector<double> speed{0.0};
+
+  const double urban_end = options.trip_duration_s * options.urban_fraction;
+  const auto elapsed = [&] {
+    return static_cast<double>(speed.size() - 1) * dt;
+  };
+
+  // --- Urban phase: stop-and-go humps with randomized peaks and dwells ---
+  while (elapsed() < urban_end) {
+    const double peak_kmh =
+        std::max(15.0, rng.normal(options.urban_speed_kmh, 8.0));
+    const double peak = units::kmh_to_mps(peak_kmh);
+    hold(speed, dt, rng.uniform(5.0, 25.0));             // red light / stop
+    ramp(speed, dt, rng.uniform(8.0, 20.0), peak);       // pull away
+    hold(speed, dt, rng.uniform(10.0, 45.0));            // cruise
+    ramp(speed, dt, rng.uniform(6.0, 15.0), 0.0);        // brake to stop
+  }
+
+  // --- Highway phase: long cruises with mild speed modulation ---
+  if (options.urban_fraction < 1.0) {
+    const double target = units::kmh_to_mps(options.highway_speed_kmh);
+    ramp(speed, dt, 25.0, target);  // on-ramp
+    while (elapsed() < options.trip_duration_s - 60.0) {
+      const double v = std::max(units::kmh_to_mps(60.0),
+                                rng.normal(target, target * 0.06));
+      ramp(speed, dt, rng.uniform(10.0, 25.0), v);
+      hold(speed, dt, rng.uniform(30.0, 90.0));
+    }
+    ramp(speed, dt, 20.0, 0.0);  // off-ramp to destination
+    hold(speed, dt, 10.0);
+  }
+
+  const std::size_t n = speed.size();
+
+  // --- Elevation: smooth bounded random walk → percent slope ---
+  std::vector<double> slope(n, 0.0);
+  if (options.hilliness_percent > 0.0) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mean-reverting walk keeps slopes bounded and realistic.
+      s += -0.02 * s + rng.normal(0.0, 0.05);
+      slope[i] = std::clamp(s, -options.hilliness_percent,
+                            options.hilliness_percent);
+    }
+    // Low-pass so slope changes on a ~100 m scale, not per sample.
+    double filt = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      filt += 0.05 * (slope[i] - filt);
+      slope[i] = filt;
+    }
+  }
+
+  // --- Ambient temperature: slow drift + sensor-scale noise ---
+  std::vector<double> ambient(n, options.base_ambient_c);
+  double noise = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase =
+        static_cast<double>(i) / static_cast<double>(n) * kPi;
+    noise += 0.01 * (rng.normal(0.0, 0.2) - noise);
+    ambient[i] =
+        options.base_ambient_c + options.ambient_drift_c * std::sin(phase) +
+        noise;
+  }
+
+  std::vector<DriveSample> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DriveSample& smp = samples[i];
+    // Ramp arithmetic can leave −1e-15-scale dust at stop boundaries.
+    smp.speed_mps = std::max(speed[i], 0.0);
+    smp.accel_mps2 =
+        i + 1 < n ? (speed[i + 1] - speed[i]) / dt : 0.0;
+    smp.slope_percent = slope[i];
+    smp.ambient_c = ambient[i];
+  }
+  return DriveProfile("synthetic-route", dt, std::move(samples));
+}
+
+}  // namespace evc::drive

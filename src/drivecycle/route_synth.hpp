@@ -1,0 +1,36 @@
+// Synthetic route & weather generation.
+//
+// The paper builds real-life drive profiles from Google Maps traffic/
+// elevation data and NOAA climate records (§II-A). Neither database is
+// available offline, so this module generates statistically similar routes:
+// stop-and-go urban humps mixed with highway stretches, a bounded
+// random-walk elevation profile, and a slowly varying ambient temperature.
+// The output is an ordinary DriveProfile, exercising exactly the same code
+// path as a database-derived profile would.
+#pragma once
+
+#include <cstdint>
+
+#include "drivecycle/drive_profile.hpp"
+
+namespace evc::drive {
+
+struct RouteSynthOptions {
+  std::uint64_t seed = 1;
+  double trip_duration_s = 1800.0;
+  /// Fraction of trip time spent in urban stop-and-go (rest is highway).
+  double urban_fraction = 0.5;
+  double urban_speed_kmh = 50.0;    ///< typical urban hump peak
+  double highway_speed_kmh = 110.0; ///< typical highway cruise speed
+  /// Peak road slope magnitude in percent grade; 0 gives a flat route.
+  double hilliness_percent = 2.0;
+  double base_ambient_c = 25.0;
+  /// Slow ambient drift amplitude over the trip (°C).
+  double ambient_drift_c = 2.0;
+  double dt = 1.0;
+};
+
+/// Deterministic in `seed`: the same options always give the same profile.
+DriveProfile synthesize_route(const RouteSynthOptions& options);
+
+}  // namespace evc::drive

@@ -1,0 +1,78 @@
+#include "drivecycle/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/random.hpp"
+
+namespace evc::drive {
+
+void IdmParams::validate() const {
+  EVC_EXPECT(desired_speed_mps > 0.0, "desired speed must be positive");
+  EVC_EXPECT(time_headway_s > 0.0, "time headway must be positive");
+  EVC_EXPECT(min_gap_m > 0.0, "minimum gap must be positive");
+  EVC_EXPECT(max_accel_mps2 > 0.0, "max acceleration must be positive");
+  EVC_EXPECT(comfortable_decel_mps2 > 0.0,
+             "comfortable deceleration must be positive");
+  EVC_EXPECT(accel_exponent > 0.0, "acceleration exponent must be positive");
+}
+
+double idm_acceleration(const IdmParams& p, double speed_mps, double gap_m,
+                        double closing_speed_mps) {
+  p.validate();
+  EVC_EXPECT(speed_mps >= 0.0, "IDM speed must be >= 0");
+  EVC_EXPECT(gap_m > 0.0, "IDM gap must be positive");
+  const double desired_gap =
+      p.min_gap_m + speed_mps * p.time_headway_s +
+      speed_mps * closing_speed_mps /
+          (2.0 * std::sqrt(p.max_accel_mps2 * p.comfortable_decel_mps2));
+  const double free_term =
+      std::pow(speed_mps / p.desired_speed_mps, p.accel_exponent);
+  const double interaction = std::max(desired_gap, 0.0) / gap_m;
+  return p.max_accel_mps2 *
+         (1.0 - free_term - interaction * interaction);
+}
+
+DriveProfile follow_leader(const DriveProfile& leader,
+                           const FollowOptions& options) {
+  EVC_EXPECT(!leader.empty(), "follow_leader needs a non-empty leader");
+  options.idm.validate();
+  EVC_EXPECT(options.initial_gap_m > options.idm.min_gap_m,
+             "initial gap must exceed the minimum gap");
+  EVC_EXPECT(options.leader_noise_mps >= 0.0, "leader noise must be >= 0");
+
+  SplitMix64 rng(options.seed);
+  const double dt = leader.dt();
+  std::vector<DriveSample> samples(leader.size());
+
+  double ego_speed = 0.0;
+  double gap = options.initial_gap_m;
+  for (std::size_t i = 0; i < leader.size(); ++i) {
+    double leader_speed = leader[i].speed_mps;
+    if (options.leader_noise_mps > 0.0)
+      leader_speed = std::max(
+          0.0, leader_speed + rng.normal(0.0, options.leader_noise_mps));
+
+    const double accel =
+        idm_acceleration(options.idm, std::max(ego_speed, 0.0),
+                         std::max(gap, 0.1), ego_speed - leader_speed);
+    const double new_speed = std::max(ego_speed + accel * dt, 0.0);
+
+    // Gap update with trapezoidal relative displacement; never below a
+    // hair above zero (IDM brakes hard enough in continuous time; the
+    // clamp guards the discretization).
+    gap += (leader_speed - 0.5 * (ego_speed + new_speed)) * dt;
+    gap = std::max(gap, 0.5);
+
+    DriveSample& s = samples[i];
+    s.speed_mps = new_speed;
+    s.accel_mps2 = (new_speed - ego_speed) / dt;
+    s.slope_percent = leader[i].slope_percent;
+    s.ambient_c = leader[i].ambient_c;
+    ego_speed = new_speed;
+  }
+  return DriveProfile(leader.name() + "-follower", dt, std::move(samples));
+}
+
+}  // namespace evc::drive

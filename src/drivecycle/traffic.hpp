@@ -1,0 +1,52 @@
+// Car-following traffic microsimulation (Intelligent Driver Model).
+//
+// The paper's drive profiles come from "traffic flow information and the
+// average vehicle speed in each route segment" (§II-A, Google traffic).
+// This module generates the microscopic counterpart: an ego vehicle
+// following a leader through stop-and-go traffic with the IDM
+//   dv/dt = a·[1 − (v/v0)^δ − (s*/s)²],
+//   s* = s0 + v·T + v·Δv / (2·√(a·b)),
+// which turns any leader speed schedule (e.g. a standard cycle) into a
+// realistic perturbed follower profile — the jerky, anticipatory traces
+// real traffic produces, ideal for stress-testing the MPC's forecasts.
+#pragma once
+
+#include <cstdint>
+
+#include "drivecycle/drive_profile.hpp"
+
+namespace evc::drive {
+
+struct IdmParams {
+  double desired_speed_mps = 33.3;   ///< v0 (free-flow target)
+  double time_headway_s = 1.5;       ///< T
+  double min_gap_m = 2.0;            ///< s0
+  double max_accel_mps2 = 1.4;       ///< a
+  double comfortable_decel_mps2 = 2.0;  ///< b
+  double accel_exponent = 4.0;       ///< δ
+
+  void validate() const;
+};
+
+struct FollowOptions {
+  IdmParams idm;
+  double initial_gap_m = 20.0;
+  /// Gaussian perturbation of the leader's speed (σ, m/s) — models the
+  /// ego driver's imperfect anticipation; 0 gives deterministic following.
+  double leader_noise_mps = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// IDM acceleration for the ego state (speed, gap, closing speed Δv =
+/// v_ego − v_leader).
+double idm_acceleration(const IdmParams& params, double speed_mps,
+                        double gap_m, double closing_speed_mps);
+
+/// Simulate the ego vehicle following `leader` from standstill. The
+/// returned profile copies the leader's slope/ambient channels and has the
+/// same length and sample period. The ego never reverses, and the gap
+/// stays positive (IDM's collision-free property, enforced).
+DriveProfile follow_leader(const DriveProfile& leader,
+                           const FollowOptions& options = {});
+
+}  // namespace evc::drive

@@ -1,0 +1,48 @@
+#include "hvac/cabin_model.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::hvac {
+
+CabinThermalModel::CabinThermalModel(HvacParams params) : params_(params) {
+  params_.validate();
+}
+
+double CabinThermalModel::derivative(double tz_c, double ts_c, double mz_kg_s,
+                                     double to_c) const {
+  EVC_EXPECT(mz_kg_s >= 0.0, "air flow must be >= 0");
+  const double q = params_.solar_load_w +
+                   params_.wall_ua_w_per_k * (to_c - tz_c);
+  return (q + mz_kg_s * params_.air_cp * (ts_c - tz_c)) /
+         params_.cabin_capacitance_j_per_k;
+}
+
+double CabinThermalModel::equilibrium(double ts_c, double mz_kg_s,
+                                      double to_c) const {
+  EVC_EXPECT(mz_kg_s >= 0.0, "air flow must be >= 0");
+  const double conductance =
+      params_.wall_ua_w_per_k + mz_kg_s * params_.air_cp;
+  EVC_EXPECT(conductance > 0.0, "cabin has no thermal coupling");
+  return (params_.solar_load_w + params_.wall_ua_w_per_k * to_c +
+          mz_kg_s * params_.air_cp * ts_c) /
+         conductance;
+}
+
+double CabinThermalModel::step_exact(double tz_c, double ts_c, double mz_kg_s,
+                                     double to_c, double dt_s) const {
+  EVC_EXPECT(dt_s >= 0.0, "time step must be >= 0");
+  const double conductance =
+      params_.wall_ua_w_per_k + mz_kg_s * params_.air_cp;
+  if (conductance <= 0.0) {
+    // Pure integrator (no coupling): only the solar load acts.
+    return tz_c +
+           params_.solar_load_w / params_.cabin_capacitance_j_per_k * dt_s;
+  }
+  const double tz_inf = equilibrium(ts_c, mz_kg_s, to_c);
+  const double rate = conductance / params_.cabin_capacitance_j_per_k;
+  return tz_inf + (tz_c - tz_inf) * std::exp(-rate * dt_s);
+}
+
+}  // namespace evc::hvac

@@ -1,0 +1,35 @@
+// Cabin thermal dynamics (paper Eq. 7–8).
+//
+//   Mc·dTz/dt = Q + mz·cp·(Ts − Tz),   Q = Qsolar + cx·Ax·(To − Tz)
+//
+// With constant inputs over a step this is a linear first-order ODE with a
+// closed-form solution; the plant uses the exact step, and tests cross-check
+// it against RK4 integration of the same right-hand side.
+#pragma once
+
+#include "hvac/hvac_params.hpp"
+
+namespace evc::hvac {
+
+class CabinThermalModel {
+ public:
+  explicit CabinThermalModel(HvacParams params);
+
+  const HvacParams& params() const { return params_; }
+
+  /// dTz/dt for cabin temp `tz`, supply temp `ts`, flow `mz`, outside `to`.
+  double derivative(double tz_c, double ts_c, double mz_kg_s,
+                    double to_c) const;
+
+  /// Exact cabin temperature after `dt` seconds with inputs held constant.
+  double step_exact(double tz_c, double ts_c, double mz_kg_s, double to_c,
+                    double dt_s) const;
+
+  /// Steady-state cabin temperature for constant inputs.
+  double equilibrium(double ts_c, double mz_kg_s, double to_c) const;
+
+ private:
+  HvacParams params_;
+};
+
+}  // namespace evc::hvac

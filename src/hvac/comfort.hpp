@@ -1,0 +1,41 @@
+// Fanger thermal comfort model (PMV/PPD per ISO 7730).
+//
+// The paper's comfort zone (constraint C2 and refs [11]) is a temperature
+// band; the underlying science is Fanger's Predicted Mean Vote. This module
+// implements the full steady-state PMV — air/radiant temperature, humidity,
+// air velocity, metabolic rate, clothing — and the Predicted Percentage
+// Dissatisfied, so experiments can report occupant comfort as PPD instead
+// of a raw temperature error, and the comfort-zone band can be *derived*
+// (the band where |PMV| ≤ 0.5) rather than assumed.
+#pragma once
+
+namespace evc::hvac {
+
+struct ComfortConditions {
+  double air_temp_c = 24.0;
+  /// Mean radiant temperature; in a vehicle cabin close to air temperature
+  /// except under strong sun.
+  double radiant_temp_c = 24.0;
+  double air_velocity_m_s = 0.1;  ///< at the occupant
+  double relative_humidity = 0.5;
+  double metabolic_rate_met = 1.2;  ///< seated, light activity (driving)
+  double clothing_clo = 0.6;        ///< light clothing
+};
+
+/// Predicted Mean Vote on the 7-point scale (−3 cold … +3 hot).
+/// Iteratively solves the clothing-surface heat balance (ISO 7730).
+double predicted_mean_vote(const ComfortConditions& conditions);
+
+/// Predicted Percentage Dissatisfied (%, ≥ 5 at PMV = 0).
+double predicted_percentage_dissatisfied(double pmv);
+
+/// The air-temperature band where |PMV| ≤ `pmv_limit` with the other
+/// conditions held — the derived comfort zone. Returned as {low, high} °C.
+struct ComfortBand {
+  double low_c = 0.0;
+  double high_c = 0.0;
+};
+ComfortBand comfort_band(ComfortConditions conditions,
+                         double pmv_limit = 0.5);
+
+}  // namespace evc::hvac

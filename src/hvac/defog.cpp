@@ -1,0 +1,45 @@
+#include "hvac/defog.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace evc::hvac {
+
+void DefogParams::validate() const {
+  EVC_EXPECT(glass_coupling >= 0.0 && glass_coupling <= 1.0,
+             "glass coupling outside [0, 1]");
+  EVC_EXPECT(safety_margin_k >= 0.0, "safety margin must be >= 0");
+  EVC_EXPECT(defog_recirculation_cap >= 0.0 &&
+                 defog_recirculation_cap <= 1.0,
+             "defog recirculation cap outside [0, 1]");
+}
+
+double windshield_temp_c(const DefogParams& params, double cabin_temp_c,
+                         double outside_temp_c) {
+  params.validate();
+  return cabin_temp_c -
+         params.glass_coupling * (cabin_temp_c - outside_temp_c);
+}
+
+double fog_margin_k(const DefogParams& params, double cabin_temp_c,
+                    double outside_temp_c, double cabin_humidity_ratio) {
+  EVC_EXPECT(cabin_humidity_ratio >= 0.0, "humidity ratio must be >= 0");
+  const double glass =
+      windshield_temp_c(params, cabin_temp_c, outside_temp_c);
+  if (cabin_humidity_ratio <= 1e-9) return 100.0;  // bone-dry air: no risk
+  return glass - dew_point_c(cabin_humidity_ratio);
+}
+
+double recirculation_limit(const DefogParams& params, double hvac_max_dr,
+                           double cabin_temp_c, double outside_temp_c,
+                           double cabin_humidity_ratio) {
+  EVC_EXPECT(hvac_max_dr >= 0.0 && hvac_max_dr <= 1.0,
+             "recirculation maximum outside [0, 1]");
+  const double margin = fog_margin_k(params, cabin_temp_c, outside_temp_c,
+                                     cabin_humidity_ratio);
+  if (margin >= params.safety_margin_k) return hvac_max_dr;
+  return std::min(hvac_max_dr, params.defog_recirculation_cap);
+}
+
+}  // namespace evc::hvac

@@ -1,0 +1,46 @@
+// Windshield fog-risk assessment and the fresh-air override.
+//
+// The safety constraint real automotive climate controllers must respect:
+// when the windshield's inner surface falls below the cabin air's dew
+// point, condensation fogs the glass. High recirculation — exactly what
+// the MPC prefers for efficiency in extreme ambients — raises cabin
+// humidity and with it the dew point, so an efficiency-optimal controller
+// needs a fog guard. This module computes the risk from the humidity model
+// and provides the standard mitigation: cap the recirculation fraction
+// when the margin shrinks.
+#pragma once
+
+#include "hvac/humidity.hpp"
+
+namespace evc::hvac {
+
+struct DefogParams {
+  /// Windshield inner-surface temperature model: Tglass = Tz − k·(Tz − To)
+  /// (conduction through the glass pulls the inner surface toward outside;
+  /// single glazing swept by outside air at speed couples strongly).
+  double glass_coupling = 0.55;
+  /// Required margin between glass temperature and cabin dew point (K).
+  double safety_margin_k = 2.0;
+  /// Recirculation cap applied while fogging is imminent.
+  double defog_recirculation_cap = 0.2;
+
+  void validate() const;
+};
+
+/// Windshield inner-surface temperature estimate.
+double windshield_temp_c(const DefogParams& params, double cabin_temp_c,
+                         double outside_temp_c);
+
+/// Margin (K) between the windshield surface and the cabin dew point;
+/// negative = actively fogging.
+double fog_margin_k(const DefogParams& params, double cabin_temp_c,
+                    double outside_temp_c, double cabin_humidity_ratio);
+
+/// The recirculation limit to apply: the configured HVAC maximum when the
+/// margin is healthy, the defog cap when the margin is below the safety
+/// threshold.
+double recirculation_limit(const DefogParams& params, double hvac_max_dr,
+                           double cabin_temp_c, double outside_temp_c,
+                           double cabin_humidity_ratio);
+
+}  // namespace evc::hvac

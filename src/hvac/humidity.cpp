@@ -1,0 +1,110 @@
+#include "hvac/humidity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/units.hpp"
+
+namespace evc::hvac {
+
+double saturation_pressure_pa(double temp_c) {
+  EVC_EXPECT(temp_c > -60.0 && temp_c < 80.0,
+             "temperature outside psychrometric validity");
+  // Magnus formula (over water), coefficients per WMO.
+  return 610.94 * std::exp(17.625 * temp_c / (temp_c + 243.04));
+}
+
+double humidity_ratio(double temp_c, double relative_humidity,
+                      double pressure_pa) {
+  EVC_EXPECT(relative_humidity >= 0.0 && relative_humidity <= 1.0,
+             "relative humidity outside [0, 1]");
+  EVC_EXPECT(pressure_pa > 1000.0, "implausible total pressure");
+  const double pv = relative_humidity * saturation_pressure_pa(temp_c);
+  EVC_EXPECT(pv < pressure_pa, "vapor pressure exceeds total pressure");
+  return 0.62198 * pv / (pressure_pa - pv);
+}
+
+double relative_humidity(double temp_c, double humidity_ratio_kg_kg,
+                         double pressure_pa) {
+  EVC_EXPECT(humidity_ratio_kg_kg >= 0.0, "humidity ratio must be >= 0");
+  const double pv = pressure_pa * humidity_ratio_kg_kg /
+                    (0.62198 + humidity_ratio_kg_kg);
+  return pv / saturation_pressure_pa(temp_c);
+}
+
+double moist_enthalpy(double temp_c, double humidity_ratio_kg_kg) {
+  EVC_EXPECT(humidity_ratio_kg_kg >= 0.0, "humidity ratio must be >= 0");
+  return consts::kAirHeatCapacity * temp_c +
+         humidity_ratio_kg_kg * (kLatentHeatJPerKg + kVaporCp * temp_c);
+}
+
+double dew_point_c(double humidity_ratio_kg_kg, double pressure_pa) {
+  EVC_EXPECT(humidity_ratio_kg_kg > 0.0,
+             "dew point undefined for perfectly dry air");
+  const double pv = pressure_pa * humidity_ratio_kg_kg /
+                    (0.62198 + humidity_ratio_kg_kg);
+  // Invert the Magnus formula.
+  const double ln_ratio = std::log(pv / 610.94);
+  return 243.04 * ln_ratio / (17.625 - ln_ratio);
+}
+
+double equivalent_dry_air_temp(double temp_c, double humidity_ratio_kg_kg) {
+  return moist_enthalpy(temp_c, humidity_ratio_kg_kg) /
+         consts::kAirHeatCapacity;
+}
+
+void MoistureParams::validate() const {
+  EVC_EXPECT(air_mass_kg > 0.0, "cabin air mass must be positive");
+  EVC_EXPECT(occupant_vapor_kg_s >= 0.0, "vapor emission must be >= 0");
+  EVC_EXPECT(occupants >= 0, "occupant count must be >= 0");
+}
+
+CabinMoistureModel::CabinMoistureModel(MoistureParams params,
+                                       double initial_humidity_ratio)
+    : params_(params), w_z_(initial_humidity_ratio) {
+  params_.validate();
+  EVC_EXPECT(initial_humidity_ratio >= 0.0 && initial_humidity_ratio < 0.05,
+             "initial humidity ratio outside plausible range");
+}
+
+MoistureStep CabinMoistureModel::step(double mz_kg_s, double dr, double to_c,
+                                      double w_outside, double coil_temp_c,
+                                      double cabin_temp_c, double dt_s) {
+  EVC_EXPECT(mz_kg_s >= 0.0, "air flow must be >= 0");
+  EVC_EXPECT(dr >= 0.0 && dr <= 1.0, "recirculation outside [0, 1]");
+  EVC_EXPECT(w_outside >= 0.0, "outside humidity ratio must be >= 0");
+  EVC_EXPECT(dt_s > 0.0, "moisture step must be positive");
+  (void)to_c;  // mixing is by humidity ratio; temperature enters via RH out
+
+  MoistureStep out;
+
+  // Mixer: humidity ratios blend by dry-air mass fractions (Eq. 9's moist
+  // counterpart).
+  const double w_mixed = (1.0 - dr) * w_outside + dr * w_z_;
+
+  // Cooling coil: if the coil surface is below the mixed air's dew point,
+  // the outlet saturates at the coil temperature and the difference
+  // condenses out.
+  double w_supply = w_mixed;
+  if (w_mixed > 0.0 && coil_temp_c < dew_point_c(w_mixed)) {
+    const double w_sat_coil = evc::hvac::humidity_ratio(coil_temp_c, 1.0);
+    w_supply = std::min(w_mixed, w_sat_coil);
+  }
+  out.condensate_kg_s = mz_kg_s * (w_mixed - w_supply);
+  out.latent_coil_load_w = out.condensate_kg_s * kLatentHeatJPerKg;
+
+  // Cabin moisture balance: supply air exchanges with the cabin; occupants
+  // add vapor.
+  const double vapor_gen =
+      params_.occupant_vapor_kg_s * static_cast<double>(params_.occupants);
+  const double dw_dt =
+      (mz_kg_s * (w_supply - w_z_) + vapor_gen) / params_.air_mass_kg;
+  w_z_ = std::max(w_z_ + dw_dt * dt_s, 0.0);
+
+  out.cabin_humidity_ratio = w_z_;
+  out.cabin_relative_humidity = relative_humidity(cabin_temp_c, w_z_);
+  return out;
+}
+
+}  // namespace evc::hvac

@@ -1,0 +1,88 @@
+// Moist-air extension of the HVAC model.
+//
+// The paper's §II-C treats humidity implicitly: "the temperature represents
+// an equivalent dry air temperature at which the dry air has the same
+// specific enthalpy as the actual moist air mixture", because humidity "is
+// not typically directly measured or controlled". This module makes the
+// implicit explicit: standard psychrometrics (saturation pressure, humidity
+// ratio, enthalpy, dew point), the equivalent dry-air temperature the paper
+// uses, a cabin moisture balance (occupants + ventilation), and the latent
+// load that condensation puts on the cooling coil — so the effect of the
+// dry-air simplification can be quantified (see bench_ablation_humidity).
+#pragma once
+
+namespace evc::hvac {
+
+/// Standard atmospheric pressure used throughout (Pa).
+inline constexpr double kAtmPressurePa = 101325.0;
+/// Latent heat of vaporization of water near cabin temperatures (J/kg).
+inline constexpr double kLatentHeatJPerKg = 2.45e6;
+/// Heat capacity of water vapor (J/(kg·K)).
+inline constexpr double kVaporCp = 1860.0;
+
+// --- Psychrometric primitives (Magnus form over water) ---
+
+/// Saturation vapor pressure at `temp_c` (Pa). Valid −40…+60 °C.
+double saturation_pressure_pa(double temp_c);
+
+/// Humidity ratio w (kg water / kg dry air) at a relative humidity in
+/// [0, 1] and total pressure.
+double humidity_ratio(double temp_c, double relative_humidity,
+                      double pressure_pa = kAtmPressurePa);
+
+/// Relative humidity in [0, ~] from a humidity ratio (can exceed 1 for
+/// supersaturated states before condensation is applied).
+double relative_humidity(double temp_c, double humidity_ratio_kg_kg,
+                         double pressure_pa = kAtmPressurePa);
+
+/// Specific enthalpy of moist air per kg of dry air (J/kg), 0 °C datum.
+double moist_enthalpy(double temp_c, double humidity_ratio_kg_kg);
+
+/// Dew point of air with the given humidity ratio (°C).
+double dew_point_c(double humidity_ratio_kg_kg,
+                   double pressure_pa = kAtmPressurePa);
+
+/// The paper's equivalent dry-air temperature: the temperature at which
+/// dry air (cp = 1005) has the same specific enthalpy as the moist mixture.
+double equivalent_dry_air_temp(double temp_c, double humidity_ratio_kg_kg);
+
+// --- Cabin moisture balance + coil condensation ---
+
+struct MoistureParams {
+  /// Effective moisture capacitance: kg of dry air whose humidity ratio
+  /// the cabin state represents (air mass + hygroscopic surfaces).
+  double air_mass_kg = 8.0;
+  /// Occupant latent emission (kg water vapor per second); ≈50 g/h/person.
+  double occupant_vapor_kg_s = 1.4e-5;
+  int occupants = 1;
+
+  void validate() const;
+};
+
+/// One step's humidity outcome.
+struct MoistureStep {
+  double cabin_humidity_ratio = 0.0;
+  double cabin_relative_humidity = 0.0;  ///< at the given cabin temperature
+  double condensate_kg_s = 0.0;          ///< water removed at the coil
+  double latent_coil_load_w = 0.0;       ///< extra thermal load on the coil
+};
+
+class CabinMoistureModel {
+ public:
+  CabinMoistureModel(MoistureParams params, double initial_humidity_ratio);
+
+  const MoistureParams& params() const { return params_; }
+  double humidity_ratio() const { return w_z_; }
+
+  /// Advance one step: outside air at (to_c, w_o) mixed at recirculation
+  /// `dr`, passed over a coil at `coil_temp_c` (condensing if below the dew
+  /// point), supplied to the cabin at mass flow `mz`; occupants add vapor.
+  MoistureStep step(double mz_kg_s, double dr, double to_c, double w_outside,
+                    double coil_temp_c, double cabin_temp_c, double dt_s);
+
+ private:
+  MoistureParams params_;
+  double w_z_;  ///< cabin humidity ratio
+};
+
+}  // namespace evc::hvac

@@ -1,0 +1,34 @@
+#include "hvac/hvac_params.hpp"
+
+#include "util/expect.hpp"
+
+namespace evc::hvac {
+
+void HvacParams::validate() const {
+  EVC_EXPECT(cabin_capacitance_j_per_k > 0.0,
+             "cabin thermal capacitance must be positive");
+  EVC_EXPECT(air_cp > 0.0, "air heat capacity must be positive");
+  EVC_EXPECT(wall_ua_w_per_k >= 0.0, "wall UA must be >= 0");
+  EVC_EXPECT(heater_efficiency > 0.0 && heater_efficiency <= 1.0,
+             "heater efficiency must be in (0, 1]");
+  EVC_EXPECT(cooler_efficiency > 0.0,
+             "cooler efficiency (COP-folded) must be positive");
+  EVC_EXPECT(fan_coefficient >= 0.0, "fan coefficient must be >= 0");
+  EVC_EXPECT(min_air_flow_kg_s >= 0.0 &&
+                 max_air_flow_kg_s > min_air_flow_kg_s,
+             "air flow bounds inconsistent");
+  EVC_EXPECT(comfort_min_c < comfort_max_c, "comfort zone inverted");
+  EVC_EXPECT(target_temp_c >= comfort_min_c && target_temp_c <= comfort_max_c,
+             "target temperature outside comfort zone");
+  EVC_EXPECT(min_coil_temp_c < max_supply_temp_c,
+             "coil/supply temperature bounds inconsistent");
+  EVC_EXPECT(max_recirculation >= 0.0 && max_recirculation <= 1.0,
+             "recirculation bound must be in [0, 1]");
+  EVC_EXPECT(max_heater_power_w > 0.0 && max_cooler_power_w > 0.0 &&
+                 max_fan_power_w > 0.0,
+             "power limits must be positive");
+}
+
+HvacParams default_hvac_params() { return HvacParams{}; }
+
+}  // namespace evc::hvac

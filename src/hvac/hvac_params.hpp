@@ -1,0 +1,68 @@
+// Single-zone VAV HVAC parameters (paper §II-C, Eq. 7–12, Fig. 4) and the
+// control constraints C1–C10 (§III-A).
+//
+// Defaults are i-MiEV-class (Umezu & Noyama, SAE 2010) tuned so the plant
+// reproduces the transient behaviour reported for automotive cabins
+// (Knibbs et al. air-change rates; Huang et al. cabin conditioning).
+#pragma once
+
+namespace evc::hvac {
+
+struct HvacParams {
+  // --- Thermal plant (Eq. 7–9) ---
+  /// Thermal capacitance of cabin air + interior mass (J/K).
+  double cabin_capacitance_j_per_k = 1.3e5;
+  /// Air heat capacity cp (J/(kg·K)).
+  double air_cp = 1005.0;
+  /// Wall heat exchange cx·Ax (W/K) between cabin and outside. Automotive
+  /// cabins are poorly insulated; ~100 W/K reproduces the conditioning
+  /// loads of the paper's Table I.
+  double wall_ua_w_per_k = 100.0;
+  /// Solar radiation thermal load offset Qsolar (W); constant during a trip.
+  double solar_load_w = 600.0;
+
+  // --- Coils and fan (Eq. 10–12) ---
+  double heater_efficiency = 0.9;  ///< ηh (resistive PTC heater)
+  /// ηc — folds compressor COP and coil effectiveness into one parameter,
+  /// as the paper does ("efficiency parameters describing the operating
+  /// characteristics").
+  double cooler_efficiency = 1.5;
+  double fan_coefficient = 5600.0;  ///< kf (W·s²/kg²)
+
+  // --- Constraints C1–C10 ---
+  double min_air_flow_kg_s = 0.02;   ///< C1 lower (fresh-air minimum)
+  double max_air_flow_kg_s = 0.25;   ///< C1 upper
+  double comfort_min_c = 22.0;       ///< C2 lower
+  double comfort_max_c = 26.0;       ///< C2 upper
+  double min_coil_temp_c = 4.0;      ///< C5 (evaporator frost limit)
+  double max_supply_temp_c = 60.0;   ///< C6 (heater outlet limit)
+  double max_recirculation = 0.9;    ///< C7 (fresh-air regulation)
+  double max_heater_power_w = 6000.0;  ///< C8
+  double max_cooler_power_w = 6000.0;  ///< C9
+  double max_fan_power_w = 400.0;      ///< C10
+
+  double target_temp_c = 24.0;  ///< Ttarget in the cost function (Eq. 21)
+
+  void validate() const;
+};
+
+/// i-MiEV-class defaults used throughout the experiments.
+HvacParams default_hvac_params();
+
+/// Actuator inputs i = [Ts, Tc, dr, mz]′ (paper §III-A).
+struct HvacInputs {
+  double supply_temp_c = 24.0;  ///< Ts, heater outlet / supply air
+  double coil_temp_c = 24.0;    ///< Tc, cooler outlet
+  double recirculation = 0.5;   ///< dr ∈ [0, dr_max]
+  double air_flow_kg_s = 0.02;  ///< mz
+};
+
+/// Electrical power breakdown of the HVAC (W).
+struct HvacPower {
+  double heater_w = 0.0;  ///< Ph, Eq. 10
+  double cooler_w = 0.0;  ///< Pc, Eq. 11
+  double fan_w = 0.0;     ///< Pf, Eq. 12
+  double total() const { return heater_w + cooler_w + fan_w; }
+};
+
+}  // namespace evc::hvac

@@ -1,0 +1,92 @@
+#include "hvac/hvac_plant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::hvac {
+
+HvacPlant::HvacPlant(HvacParams params, double initial_cabin_temp_c)
+    : cabin_(params), cabin_temp_c_(initial_cabin_temp_c) {}
+
+double HvacPlant::mixed_temp(double recirculation, double outside_temp_c,
+                             double cabin_temp_c) const {
+  return (1.0 - recirculation) * outside_temp_c +
+         recirculation * cabin_temp_c;
+}
+
+HvacInputs HvacPlant::sanitize(const HvacInputs& requested,
+                               double outside_temp_c,
+                               double cabin_temp_c) const {
+  const HvacParams& p = params();
+  HvacInputs in = requested;
+
+  // C1 + C10: flow bounds; the fan power cap translates to a max flow.
+  double flow_cap = p.max_air_flow_kg_s;
+  if (p.fan_coefficient > 0.0)
+    flow_cap = std::min(flow_cap,
+                        std::sqrt(p.max_fan_power_w / p.fan_coefficient));
+  in.air_flow_kg_s =
+      std::clamp(in.air_flow_kg_s, p.min_air_flow_kg_s, flow_cap);
+
+  // C7: damper range.
+  in.recirculation = std::clamp(in.recirculation, 0.0, p.max_recirculation);
+
+  const double tm = mixed_temp(in.recirculation, outside_temp_c, cabin_temp_c);
+
+  // C4 + C5 + C9: the cooler can only cool, not below the frost limit, and
+  // not faster than its power cap allows at this flow.
+  double tc_min = p.min_coil_temp_c;
+  if (in.air_flow_kg_s > 0.0)
+    tc_min = std::max(tc_min, tm - p.max_cooler_power_w * p.cooler_efficiency /
+                                       (p.air_cp * in.air_flow_kg_s));
+  in.coil_temp_c = std::clamp(in.coil_temp_c, std::min(tc_min, tm), tm);
+
+  // C3 + C6 + C8: the heater can only heat, up to its outlet limit and
+  // power cap.
+  double ts_max = p.max_supply_temp_c;
+  if (in.air_flow_kg_s > 0.0)
+    ts_max = std::min(ts_max,
+                      in.coil_temp_c + p.max_heater_power_w *
+                                           p.heater_efficiency /
+                                           (p.air_cp * in.air_flow_kg_s));
+  in.supply_temp_c = std::clamp(in.supply_temp_c, in.coil_temp_c, ts_max);
+
+  return in;
+}
+
+HvacPower HvacPlant::power_for(const HvacInputs& inputs,
+                               double mixed_temp_c) const {
+  const HvacParams& p = params();
+  HvacPower power;
+  power.heater_w = p.air_cp / p.heater_efficiency * inputs.air_flow_kg_s *
+                   (inputs.supply_temp_c - inputs.coil_temp_c);
+  power.cooler_w = p.air_cp / p.cooler_efficiency * inputs.air_flow_kg_s *
+                   (mixed_temp_c - inputs.coil_temp_c);
+  power.fan_w = p.fan_coefficient * inputs.air_flow_kg_s *
+                inputs.air_flow_kg_s;
+  EVC_ENSURE(power.heater_w >= -1e-9 && power.cooler_w >= -1e-9,
+             "sanitized inputs must give non-negative coil power");
+  power.heater_w = std::max(power.heater_w, 0.0);
+  power.cooler_w = std::max(power.cooler_w, 0.0);
+  return power;
+}
+
+HvacStepResult HvacPlant::step(const HvacInputs& requested,
+                               double outside_temp_c, double dt_s) {
+  EVC_EXPECT(dt_s > 0.0, "HVAC step duration must be positive");
+  HvacStepResult result;
+  result.applied = sanitize(requested, outside_temp_c, cabin_temp_c_);
+  result.mixed_temp_c =
+      mixed_temp(result.applied.recirculation, outside_temp_c, cabin_temp_c_);
+  result.power = power_for(result.applied, result.mixed_temp_c);
+  cabin_temp_c_ = cabin_.step_exact(cabin_temp_c_,
+                                    result.applied.supply_temp_c,
+                                    result.applied.air_flow_kg_s,
+                                    outside_temp_c, dt_s);
+  result.cabin_temp_c = cabin_temp_c_;
+  return result;
+}
+
+}  // namespace evc::hvac

@@ -1,0 +1,58 @@
+// The complete single-zone VAV HVAC plant (paper Fig. 4): air mixer with
+// recirculation damper, cooling coil, heating coil, variable-speed fan, and
+// the cabin thermal mass.
+//
+// This is the physical plant the controllers act on — the stand-in for the
+// paper's AMESim model. It sanitizes requested actuator inputs into the
+// physically achievable envelope (C1, C3–C10), computes the electrical
+// power of the coils and fan (Eq. 10–12), and advances the cabin state with
+// the exact linear-ODE step.
+#pragma once
+
+#include "hvac/cabin_model.hpp"
+#include "hvac/hvac_params.hpp"
+
+namespace evc::hvac {
+
+/// Result of applying inputs for one step.
+struct HvacStepResult {
+  HvacInputs applied;       ///< inputs after envelope sanitation
+  double mixed_temp_c = 0;  ///< Tm, Eq. 9
+  HvacPower power;          ///< electrical draw during the step
+  double cabin_temp_c = 0;  ///< Tz after the step
+};
+
+class HvacPlant {
+ public:
+  HvacPlant(HvacParams params, double initial_cabin_temp_c);
+
+  const HvacParams& params() const { return cabin_.params(); }
+  double cabin_temp_c() const { return cabin_temp_c_; }
+  void reset(double cabin_temp_c) { cabin_temp_c_ = cabin_temp_c; }
+  const CabinThermalModel& cabin_model() const { return cabin_; }
+
+  /// Clamp requested inputs into the physically achievable envelope:
+  /// flow/damper bounds, coil temperature limits, the ordering
+  /// Tc ≤ min(Tm, Ts), and the coil/fan power caps (power caps translate
+  /// into achievable coil temperature spans at the requested flow).
+  HvacInputs sanitize(const HvacInputs& requested, double outside_temp_c,
+                      double cabin_temp_c) const;
+
+  /// Electrical power for (already sanitized) inputs at the current mixed
+  /// air temperature.
+  HvacPower power_for(const HvacInputs& inputs, double mixed_temp_c) const;
+
+  /// Mixed air temperature Tm for a recirculation fraction (Eq. 9).
+  double mixed_temp(double recirculation, double outside_temp_c,
+                    double cabin_temp_c) const;
+
+  /// Apply inputs for `dt` seconds: sanitize, compute power, advance Tz.
+  HvacStepResult step(const HvacInputs& requested, double outside_temp_c,
+                      double dt_s);
+
+ private:
+  CabinThermalModel cabin_;
+  double cabin_temp_c_;
+};
+
+}  // namespace evc::hvac

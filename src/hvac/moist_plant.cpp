@@ -1,0 +1,34 @@
+#include "hvac/moist_plant.hpp"
+
+#include "util/expect.hpp"
+
+namespace evc::hvac {
+
+MoistHvacPlant::MoistHvacPlant(HvacParams params, MoistureParams moisture,
+                               double initial_cabin_temp_c,
+                               double initial_relative_humidity)
+    : plant_(params, initial_cabin_temp_c),
+      moisture_(moisture, humidity_ratio(initial_cabin_temp_c,
+                                         initial_relative_humidity)) {}
+
+MoistStepResult MoistHvacPlant::step(const HvacInputs& requested, double to_c,
+                                     double outside_rh, double dt_s) {
+  EVC_EXPECT(outside_rh >= 0.0 && outside_rh <= 1.0,
+             "outside relative humidity outside [0, 1]");
+  MoistStepResult out;
+  const double cabin_before = plant_.cabin_temp_c();
+  out.dry = plant_.step(requested, to_c, dt_s);
+  out.moisture = moisture_.step(
+      out.dry.applied.air_flow_kg_s, out.dry.applied.recirculation, to_c,
+      humidity_ratio(to_c, outside_rh), out.dry.applied.coil_temp_c,
+      cabin_before, dt_s);
+  // The condensation's latent heat is removed by the same coil at the same
+  // folded efficiency (Eq. 11's energy-difference view extended to
+  // enthalpy).
+  out.latent_cooler_w =
+      out.moisture.latent_coil_load_w / params().cooler_efficiency;
+  out.total_power_w = out.dry.power.total() + out.latent_cooler_w;
+  return out;
+}
+
+}  // namespace evc::hvac

@@ -1,0 +1,42 @@
+// Moist-air HVAC plant: the single-zone plant composed with the cabin
+// moisture balance, charging the cooling coil for the latent load of
+// condensation.
+//
+// This quantifies what the paper's equivalent-dry-air-temperature
+// simplification (§II-C) absorbs: in humid climates a large share of the
+// cooling power dehumidifies rather than cools, so the dry-air plant
+// underestimates Pc. bench_ablation_humidity compares both plants.
+#pragma once
+
+#include "hvac/humidity.hpp"
+#include "hvac/hvac_plant.hpp"
+
+namespace evc::hvac {
+
+struct MoistStepResult {
+  HvacStepResult dry;        ///< the dry-air plant's result
+  MoistureStep moisture;     ///< cabin humidity state and condensation
+  double latent_cooler_w = 0.0;  ///< extra electrical power at the cooler
+  double total_power_w = 0.0;    ///< dry power + latent share
+};
+
+class MoistHvacPlant {
+ public:
+  MoistHvacPlant(HvacParams params, MoistureParams moisture,
+                 double initial_cabin_temp_c,
+                 double initial_relative_humidity);
+
+  double cabin_temp_c() const { return plant_.cabin_temp_c(); }
+  double cabin_humidity_ratio() const { return moisture_.humidity_ratio(); }
+  const HvacParams& params() const { return plant_.params(); }
+
+  /// Apply inputs for one step against outside air at (to_c, outside_rh).
+  MoistStepResult step(const HvacInputs& requested, double to_c,
+                       double outside_rh, double dt_s);
+
+ private:
+  HvacPlant plant_;
+  CabinMoistureModel moisture_;
+};
+
+}  // namespace evc::hvac

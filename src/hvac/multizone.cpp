@@ -1,0 +1,156 @@
+#include "hvac/multizone.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "hvac/hvac_plant.hpp"
+#include "sim/ode.hpp"
+#include "util/expect.hpp"
+
+namespace evc::hvac {
+
+namespace {
+
+void check_fractions(const std::vector<double>& f, std::size_t n,
+                     const char* what) {
+  EVC_EXPECT(f.size() == n,
+             std::string(what) + ": needs one entry per zone");
+  double sum = 0.0;
+  for (double x : f) {
+    EVC_EXPECT(x >= 0.0, std::string(what) + ": fractions must be >= 0");
+    sum += x;
+  }
+  EVC_EXPECT(std::abs(sum - 1.0) < 1e-9,
+             std::string(what) + ": fractions must sum to 1");
+}
+
+}  // namespace
+
+void MultiZoneParams::validate() const {
+  base.validate();
+  const std::size_t n = num_zones();
+  EVC_EXPECT(n >= 2, "multi-zone model needs at least two zones");
+  check_fractions(capacitance_fraction, n, "capacitance_fraction");
+  check_fractions(wall_fraction, n, "wall_fraction");
+  check_fractions(solar_fraction, n, "solar_fraction");
+  EVC_EXPECT(interzone_ua.size() == n * (n - 1) / 2,
+             "interzone_ua needs one entry per zone pair");
+  for (double k : interzone_ua)
+    EVC_EXPECT(k >= 0.0, "interzone conductance must be >= 0");
+}
+
+MultiZoneCabinModel::MultiZoneCabinModel(MultiZoneParams params)
+    : params_(std::move(params)) {
+  params_.validate();
+}
+
+std::vector<double> MultiZoneCabinModel::derivatives(
+    const std::vector<double>& zone_temps_c, double ts_c, double mz_kg_s,
+    const std::vector<double>& split, double to_c) const {
+  const std::size_t n = num_zones();
+  EVC_EXPECT(zone_temps_c.size() == n, "zone temperature count mismatch");
+  EVC_EXPECT(split.size() == n, "flow split count mismatch");
+  EVC_EXPECT(mz_kg_s >= 0.0, "air flow must be >= 0");
+  const HvacParams& b = params_.base;
+
+  std::vector<double> ddt(n, 0.0);
+  // Pairwise conduction, upper-triangular indexing.
+  std::size_t pair = 0;
+  std::vector<double> conduction(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j, ++pair) {
+      const double q =
+          params_.interzone_ua[pair] * (zone_temps_c[j] - zone_temps_c[i]);
+      conduction[i] += q;
+      conduction[j] -= q;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mc = b.cabin_capacitance_j_per_k *
+                      params_.capacitance_fraction[i];
+    const double q = b.solar_load_w * params_.solar_fraction[i] +
+                     b.wall_ua_w_per_k * params_.wall_fraction[i] *
+                         (to_c - zone_temps_c[i]) +
+                     conduction[i] +
+                     split[i] * mz_kg_s * b.air_cp * (ts_c - zone_temps_c[i]);
+    ddt[i] = q / mc;
+  }
+  return ddt;
+}
+
+std::vector<double> MultiZoneCabinModel::step(
+    const std::vector<double>& zone_temps_c, double ts_c, double mz_kg_s,
+    const std::vector<double>& split, double to_c, double dt_s) const {
+  EVC_EXPECT(dt_s > 0.0, "multi-zone step must be positive");
+  const sim::OdeRhs rhs = [&](double, const std::vector<double>& x,
+                              std::vector<double>& dxdt) {
+    dxdt = derivatives(x, ts_c, mz_kg_s, split, to_c);
+  };
+  return sim::integrate_fixed(rhs, zone_temps_c, 0.0, dt_s,
+                              std::min(dt_s, 1.0));
+}
+
+double MultiZoneCabinModel::return_temp(
+    const std::vector<double>& zone_temps_c,
+    const std::vector<double>& split) const {
+  EVC_EXPECT(zone_temps_c.size() == num_zones() &&
+                 split.size() == num_zones(),
+             "zone count mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < num_zones(); ++i)
+    acc += split[i] * zone_temps_c[i];
+  return acc;
+}
+
+MultiZonePlant::MultiZonePlant(MultiZoneParams params,
+                               const std::vector<double>& initial_zone_temps_c)
+    : cabin_(std::move(params)), zone_temps_(initial_zone_temps_c) {
+  EVC_EXPECT(zone_temps_.size() == cabin_.num_zones(),
+             "initial zone temperature count mismatch");
+}
+
+double MultiZonePlant::mean_cabin_temp_c() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < zone_temps_.size(); ++i)
+    acc += cabin_.params().capacitance_fraction[i] * zone_temps_[i];
+  return acc;
+}
+
+MultiZonePlant::StepResult MultiZonePlant::step(
+    const HvacInputs& requested, const std::vector<double>& requested_split,
+    double outside_temp_c, double dt_s) {
+  const std::size_t n = cabin_.num_zones();
+  StepResult result;
+
+  // Normalize the split; uniform if unspecified.
+  result.split.assign(n, 1.0 / static_cast<double>(n));
+  if (!requested_split.empty()) {
+    EVC_EXPECT(requested_split.size() == n, "flow split count mismatch");
+    double sum = 0.0;
+    for (double s : requested_split) {
+      EVC_EXPECT(s >= 0.0, "flow split must be >= 0");
+      sum += s;
+    }
+    if (sum > 1e-9)
+      for (std::size_t i = 0; i < n; ++i)
+        result.split[i] = requested_split[i] / sum;
+  }
+
+  // Reuse the single-zone coil/fan stage with the flow-weighted return
+  // temperature as the recirculated stream.
+  const double t_return = cabin_.return_temp(zone_temps_, result.split);
+  HvacPlant stage(cabin_.params().base, t_return);
+  result.applied = stage.sanitize(requested, outside_temp_c, t_return);
+  result.mixed_temp_c = stage.mixed_temp(result.applied.recirculation,
+                                         outside_temp_c, t_return);
+  result.power = stage.power_for(result.applied, result.mixed_temp_c);
+
+  zone_temps_ = cabin_.step(zone_temps_, result.applied.supply_temp_c,
+                            result.applied.air_flow_kg_s, result.split,
+                            outside_temp_c, dt_s);
+  result.zone_temps_c = zone_temps_;
+  return result;
+}
+
+}  // namespace evc::hvac

@@ -1,0 +1,98 @@
+// Multi-zone cabin extension (paper §II-C: the VAV system offers "precise
+// control of the temperature and humidity in multi-zone or single-zone";
+// the paper then assumes single-zone — this module implements the general
+// case so the simplification can be quantified).
+//
+// N thermal zones (e.g. front/rear rows) form a linear network:
+//   Mc_i·dTi/dt = Qsolar_i + UA_i·(To − Ti) + Σ_j K_ij·(Tj − Ti)
+//                 + s_i·mz·cp·(Ts − Ti)
+// with one shared supply (fan + coils as in the single-zone plant) whose
+// flow is split across zones by fractions s_i (per-zone VAV dampers), and
+// the return air mixed flow-weighted.
+#pragma once
+
+#include <vector>
+
+#include "hvac/hvac_params.hpp"
+
+namespace evc::hvac {
+
+struct MultiZoneParams {
+  /// Base single-zone parameters (coils, fan, constraints, totals).
+  HvacParams base;
+  /// Fraction of the cabin thermal capacitance per zone (sums to 1).
+  std::vector<double> capacitance_fraction{0.55, 0.45};
+  /// Fraction of the wall UA per zone (sums to 1).
+  std::vector<double> wall_fraction{0.6, 0.4};
+  /// Fraction of the solar load per zone (sums to 1; windshield biases
+  /// the front).
+  std::vector<double> solar_fraction{0.7, 0.3};
+  /// Inter-zone conductances K_ij (W/K), upper-triangular flattened:
+  /// for 2 zones a single front↔rear value.
+  std::vector<double> interzone_ua{25.0};
+
+  std::size_t num_zones() const { return capacitance_fraction.size(); }
+  void validate() const;
+};
+
+class MultiZoneCabinModel {
+ public:
+  explicit MultiZoneCabinModel(MultiZoneParams params);
+
+  const MultiZoneParams& params() const { return params_; }
+  std::size_t num_zones() const { return params_.num_zones(); }
+
+  /// Zone temperature derivatives for supply temp `ts`, total flow `mz`,
+  /// per-zone flow split `split` (sums to 1), outside `to`.
+  std::vector<double> derivatives(const std::vector<double>& zone_temps_c,
+                                  double ts_c, double mz_kg_s,
+                                  const std::vector<double>& split,
+                                  double to_c) const;
+
+  /// RK4 step of the zone network over `dt_s`.
+  std::vector<double> step(const std::vector<double>& zone_temps_c,
+                           double ts_c, double mz_kg_s,
+                           const std::vector<double>& split, double to_c,
+                           double dt_s) const;
+
+  /// Flow-weighted return-air temperature.
+  double return_temp(const std::vector<double>& zone_temps_c,
+                     const std::vector<double>& split) const;
+
+ private:
+  MultiZoneParams params_;
+};
+
+/// Multi-zone plant: the single-zone coil/fan stage feeding the zone
+/// network. Inputs are the single-zone HvacInputs plus the flow split.
+class MultiZonePlant {
+ public:
+  MultiZonePlant(MultiZoneParams params,
+                 const std::vector<double>& initial_zone_temps_c);
+
+  const MultiZoneCabinModel& model() const { return cabin_; }
+  const std::vector<double>& zone_temps_c() const { return zone_temps_; }
+  /// Capacitance-weighted mean cabin temperature (what a single-zone
+  /// controller "sees").
+  double mean_cabin_temp_c() const;
+
+  struct StepResult {
+    HvacInputs applied;
+    std::vector<double> split;
+    double mixed_temp_c = 0.0;
+    HvacPower power;
+    std::vector<double> zone_temps_c;
+  };
+
+  /// Apply inputs with a requested flow split (normalized internally; a
+  /// uniform split is used if empty).
+  StepResult step(const HvacInputs& requested,
+                  const std::vector<double>& requested_split,
+                  double outside_temp_c, double dt_s);
+
+ private:
+  MultiZoneCabinModel cabin_;
+  std::vector<double> zone_temps_;
+};
+
+}  // namespace evc::hvac

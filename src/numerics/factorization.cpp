@@ -1,0 +1,126 @@
+#include "numerics/factorization.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/expect.hpp"
+
+namespace evc::num {
+
+namespace {
+constexpr double kPivotTol = 1e-13;
+}
+
+LuFactorization::LuFactorization(const Matrix& a)
+    : n_(a.rows()), lu_(a), perm_(a.rows()) {
+  EVC_EXPECT(a.rows() == a.cols(), "LU requires a square matrix");
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  // Scale reference for the singularity test: relative to the matrix norm.
+  const double scale = std::max(lu_.norm_max(), 1.0);
+
+  ok_ = true;
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    std::size_t piv = k;
+    double piv_val = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > piv_val) {
+        piv = r;
+        piv_val = v;
+      }
+    }
+    // Inverted test so a NaN pivot (poisoned input matrix) also fails.
+    if (!(piv_val > kPivotTol * scale)) {
+      ok_ = false;
+      return;
+    }
+    if (piv != k) {
+      for (std::size_t c = 0; c < n_; ++c)
+        std::swap(lu_(k, c), lu_(piv, c));
+      std::swap(perm_[k], perm_[piv]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double m = lu_(r, k) * inv_pivot;
+      lu_(r, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n_; ++c) lu_(r, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  EVC_EXPECT(ok_, "solve on a singular LU factorization");
+  EVC_EXPECT(b.size() == n_, "LU solve dimension mismatch");
+  Vector x(n_);
+  // Forward: L·y = P·b (unit lower triangular).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Backward: U·x = y.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  if (!ok_) return 0.0;
+  double det = static_cast<double>(perm_sign_);
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+CholeskyFactorization::CholeskyFactorization(const Matrix& a)
+    : n_(a.rows()), l_(a.rows(), a.cols()) {
+  EVC_EXPECT(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  ok_ = true;
+  for (std::size_t j = 0; j < n_; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag <= 0.0) {
+      ok_ = false;
+      return;
+    }
+    l_(j, j) = std::sqrt(diag);
+    const double inv = 1.0 / l_(j, j);
+    for (std::size_t i = j + 1; i < n_; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      l_(i, j) = acc * inv;
+    }
+  }
+}
+
+Vector CholeskyFactorization::solve(const Vector& b) const {
+  EVC_EXPECT(ok_, "solve on a failed Cholesky factorization");
+  EVC_EXPECT(b.size() == n_, "Cholesky solve dimension mismatch");
+  Vector y(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+    y[i] = acc / l_(i, i);
+  }
+  Vector x(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= l_(j, ii) * x[j];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+Vector solve_linear(const Matrix& a, const Vector& b) {
+  LuFactorization lu(a);
+  if (!lu.ok()) throw std::runtime_error("solve_linear: singular matrix");
+  return lu.solve(b);
+}
+
+}  // namespace evc::num

@@ -1,0 +1,64 @@
+// Dense factorizations backing the QP/SQP solvers.
+//
+// * LuFactorization       — PLU with partial pivoting; general square
+//                           systems (SQP KKT systems are symmetric but
+//                           indefinite, so LU-with-pivoting is the robust
+//                           workhorse at these sizes).
+// * CholeskyFactorization — SPD systems (regularized QP Hessians).
+//
+// Both report singularity through `ok()` instead of throwing: the solvers
+// treat a singular KKT matrix as a recoverable condition (they regularize
+// and retry).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+#include "numerics/vector.hpp"
+
+namespace evc::num {
+
+class LuFactorization {
+ public:
+  /// Factor A = P·L·U. `A` must be square.
+  explicit LuFactorization(const Matrix& a);
+
+  /// False if a pivot collapsed below tolerance (singular to working
+  /// precision); `solve` must not be called in that case.
+  bool ok() const { return ok_; }
+  std::size_t dim() const { return n_; }
+
+  Vector solve(const Vector& b) const;
+  double determinant() const;
+
+ private:
+  std::size_t n_ = 0;
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+  bool ok_ = false;
+};
+
+class CholeskyFactorization {
+ public:
+  /// Factor A = L·Lᵀ. `A` must be square and symmetric; `ok()` is false if
+  /// A is not (numerically) positive definite.
+  explicit CholeskyFactorization(const Matrix& a);
+
+  bool ok() const { return ok_; }
+  std::size_t dim() const { return n_; }
+  Vector solve(const Vector& b) const;
+
+ private:
+  std::size_t n_ = 0;
+  Matrix l_;
+  bool ok_ = false;
+};
+
+/// Convenience: solve A·x = b by PLU. Throws std::runtime_error if A is
+/// singular to working precision (callers that can recover should construct
+/// LuFactorization directly and test ok()).
+Vector solve_linear(const Matrix& a, const Vector& b);
+
+}  // namespace evc::num

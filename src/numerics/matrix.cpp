@@ -1,0 +1,140 @@
+#include "numerics/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::num {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  EVC_EXPECT(r < rows_ && c < cols_, "Matrix::at out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  EVC_EXPECT(r < rows_ && c < cols_, "Matrix::at out of range");
+  return (*this)(r, c);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  EVC_EXPECT(cols_ == rhs.rows_, "Matrix * Matrix dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out(i, j) += a * rhs(k, j);
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  EVC_EXPECT(cols_ == v.size(), "Matrix * Vector dimension mismatch");
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Vector Matrix::transpose_times(const Vector& x) const {
+  EVC_EXPECT(rows_ == x.size(), "Matrix::transpose_times dimension mismatch");
+  Vector out(cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < cols_; ++j) out[j] += (*this)(i, j) * xi;
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  EVC_EXPECT(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+             "Matrix += dimension mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  EVC_EXPECT(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+             "Matrix -= dimension mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  EVC_EXPECT(r0 + nr <= rows_ && c0 + nc <= cols_,
+             "Matrix::block out of range");
+  Matrix out(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r)
+    for (std::size_t c = 0; c < nc; ++c) out(r, c) = (*this)(r0 + r, c0 + c);
+  return out;
+}
+
+void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& src) {
+  EVC_EXPECT(r0 + src.rows_ <= rows_ && c0 + src.cols_ <= cols_,
+             "Matrix::set_block out of range");
+  for (std::size_t r = 0; r < src.rows_; ++r)
+    for (std::size_t c = 0; c < src.cols_; ++c)
+      (*this)(r0 + r, c0 + c) = src(r, c);
+}
+
+Vector Matrix::row(std::size_t r) const {
+  EVC_EXPECT(r < rows_, "Matrix::row out of range");
+  Vector out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  EVC_EXPECT(c < cols_, "Matrix::col out of range");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::set_row(std::size_t r, const Vector& v) {
+  EVC_EXPECT(r < rows_ && v.size() == cols_, "Matrix::set_row mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+double Matrix::norm_max() const {
+  double acc = 0.0;
+  for (double x : data_) acc = std::max(acc, std::abs(x));
+  return acc;
+}
+
+void Matrix::symmetrize() {
+  EVC_EXPECT(rows_ == cols_, "symmetrize requires a square matrix");
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      const double avg = 0.5 * ((*this)(r, c) + (*this)(c, r));
+      (*this)(r, c) = avg;
+      (*this)(c, r) = avg;
+    }
+}
+
+}  // namespace evc::num

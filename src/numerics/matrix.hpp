@@ -1,0 +1,63 @@
+// Dense row-major real matrix for the embedded optimization stack.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/vector.hpp"
+
+namespace evc::num {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  /// Bounds-checked access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Vector operator*(const Vector& v) const;
+  /// yᵀ = xᵀ·A, i.e. Aᵀ·x without forming the transpose.
+  Vector transpose_times(const Vector& x) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  /// Copy rows [r0, r0+nr) × cols [c0, c0+nc).
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t nr,
+               std::size_t nc) const;
+  /// Write `src` at offset (r0, c0).
+  void set_block(std::size_t r0, std::size_t c0, const Matrix& src);
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+  void set_row(std::size_t r, const Vector& v);
+
+  /// max |a_ij|.
+  double norm_max() const;
+  /// Symmetrize in place: A := (A + Aᵀ)/2. Cheap guard before factorizing
+  /// matrices that are symmetric up to rounding.
+  void symmetrize();
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace evc::num

@@ -1,0 +1,283 @@
+#include "optim/qp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "numerics/factorization.hpp"
+#include "util/expect.hpp"
+
+namespace evc::opt {
+
+void QpProblem::validate() const {
+  const std::size_t n = num_vars();
+  EVC_EXPECT(n > 0, "QP with zero variables");
+  EVC_EXPECT(h.rows() == n && h.cols() == n, "QP Hessian dimension mismatch");
+  if (num_eq() > 0)
+    EVC_EXPECT(e_mat.rows() == num_eq() && e_mat.cols() == n,
+               "QP equality matrix dimension mismatch");
+  else
+    EVC_EXPECT(e_mat.rows() == 0, "QP equality matrix/vector mismatch");
+  if (num_ineq() > 0)
+    EVC_EXPECT(a_mat.rows() == num_ineq() && a_mat.cols() == n,
+               "QP inequality matrix dimension mismatch");
+  else
+    EVC_EXPECT(a_mat.rows() == 0, "QP inequality matrix/vector mismatch");
+}
+
+std::string to_string(QpStatus status) {
+  switch (status) {
+    case QpStatus::kSolved:
+      return "solved";
+    case QpStatus::kMaxIterations:
+      return "max-iterations";
+    case QpStatus::kNumericalIssue:
+      return "numerical-issue";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct Residuals {
+  num::Vector dual;  // Hx + g + Eᵀy + Aᵀz
+  num::Vector eq;    // Ex − e
+  num::Vector ineq;  // Ax + s − b
+  double inf_norm() const {
+    return std::max({dual.norm_inf(), eq.empty() ? 0.0 : eq.norm_inf(),
+                     ineq.empty() ? 0.0 : ineq.norm_inf()});
+  }
+};
+
+Residuals compute_residuals(const QpProblem& p, const num::Matrix& h,
+                            const num::Vector& x, const num::Vector& y,
+                            const num::Vector& z, const num::Vector& s) {
+  Residuals r;
+  r.dual = h * x + p.g;
+  if (p.num_eq() > 0) r.dual += p.e_mat.transpose_times(y);
+  if (p.num_ineq() > 0) r.dual += p.a_mat.transpose_times(z);
+  if (p.num_eq() > 0) r.eq = p.e_mat * x - p.e_vec;
+  if (p.num_ineq() > 0) r.ineq = p.a_mat * x + s - p.b_vec;
+  return r;
+}
+
+// Largest α in (0, 1] with v + α·dv ≥ (1−tau)·v elementwise (v > 0).
+double max_step(const num::Vector& v, const num::Vector& dv, double tau) {
+  double alpha = 1.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (dv[i] < 0.0) alpha = std::min(alpha, -tau * v[i] / dv[i]);
+  }
+  return alpha;
+}
+
+double objective_of(const QpProblem& p, const num::Vector& x) {
+  return 0.5 * x.dot(p.h * x) + p.g.dot(x);
+}
+
+}  // namespace
+
+QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
+  problem.validate();
+  const std::size_t n = problem.num_vars();
+  const std::size_t me = problem.num_eq();
+  const std::size_t mi = problem.num_ineq();
+
+  num::Matrix h = problem.h;
+  h.symmetrize();
+  for (std::size_t i = 0; i < n; ++i) h(i, i) += options.regularization;
+
+  QpResult result;
+  result.x = num::Vector(n);
+  result.y_eq = num::Vector(me);
+  result.z_ineq = num::Vector(mi);
+
+  // ---- Pure equality-constrained (or unconstrained) QP: one KKT solve ----
+  if (mi == 0) {
+    num::Matrix kkt(n + me, n + me);
+    kkt.set_block(0, 0, h);
+    if (me > 0) {
+      kkt.set_block(n, 0, problem.e_mat);
+      kkt.set_block(0, n, problem.e_mat.transposed());
+    }
+    num::Vector rhs(n + me);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = -problem.g[i];
+    for (std::size_t i = 0; i < me; ++i) rhs[n + i] = problem.e_vec[i];
+
+    // Regularize-and-retry on singular KKT (e.g. redundant equality rows).
+    double delta = options.regularization;
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      num::LuFactorization lu(kkt);
+      if (lu.ok()) {
+        const num::Vector sol = lu.solve(rhs);
+        result.x = sol.segment(0, n);
+        result.y_eq = sol.segment(n, me);
+        result.status = QpStatus::kSolved;
+        result.objective = objective_of(problem, result.x);
+        const Residuals r = compute_residuals(problem, h, result.x,
+                                              result.y_eq, result.z_ineq,
+                                              num::Vector(0));
+        result.kkt_residual = r.inf_norm();
+        return result;
+      }
+      delta = std::max(delta * 100.0, 1e-10);
+      for (std::size_t i = 0; i < n; ++i) kkt(i, i) += delta;
+      for (std::size_t i = 0; i < me; ++i) kkt(n + i, n + i) -= delta;
+    }
+    result.status = QpStatus::kNumericalIssue;
+    return result;
+  }
+
+  // ---- Interior point (Mehrotra predictor-corrector) ----
+  bool hard_failure = false;
+  num::Vector x(n), y(me), z(mi, 1.0), s(mi, 1.0);
+  // Start slacks at a comfortable distance from the boundary.
+  for (std::size_t i = 0; i < mi; ++i)
+    s[i] = std::max(1.0, std::abs(problem.b_vec[i]));
+
+  const double scale =
+      std::max({1.0, problem.g.norm_inf(), problem.b_vec.norm_inf(),
+                me > 0 ? problem.e_vec.norm_inf() : 0.0});
+
+  // Track the best iterate seen so that divergence still returns something
+  // usable to the SQP line search.
+  num::Vector best_x = x, best_y = y, best_z = z;
+  double best_residual = std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const Residuals res = compute_residuals(problem, h, x, y, z, s);
+    const double mu = s.dot(z) / static_cast<double>(mi);
+    result.kkt_residual = res.inf_norm();
+
+    if (!std::isfinite(result.kkt_residual) || !std::isfinite(mu)) {
+      // The iteration diverged (ill-conditioned scaling matrix); fall back
+      // to the best iterate recorded so far.
+      hard_failure = true;
+      break;
+    }
+    const double progress = result.kkt_residual + mu;
+    if (progress < best_residual) {
+      best_residual = progress;
+      best_x = x;
+      best_y = y;
+      best_z = z;
+    }
+
+    if (result.kkt_residual <= options.tolerance * scale &&
+        mu <= options.tolerance * scale) {
+      result.status = QpStatus::kSolved;
+      break;
+    }
+
+    // Reduced KKT: [H + AᵀDA, Eᵀ; E, 0], D = diag(z/s).
+    num::Matrix kkt(n + me, n + me);
+    {
+      num::Matrix hd = h;
+      for (std::size_t r = 0; r < mi; ++r) {
+        // Clamp the barrier scaling: an almost-converged active constraint
+        // would otherwise overflow the KKT system and poison the LU.
+        const double d = std::clamp(z[r] / s[r], 1e-10, 1e10);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double ari = problem.a_mat(r, i);
+          if (ari == 0.0) continue;
+          const double dai = d * ari;
+          for (std::size_t j = 0; j < n; ++j)
+            hd(i, j) += dai * problem.a_mat(r, j);
+        }
+      }
+      kkt.set_block(0, 0, hd);
+    }
+    if (me > 0) {
+      kkt.set_block(n, 0, problem.e_mat);
+      kkt.set_block(0, n, problem.e_mat.transposed());
+    }
+
+    num::LuFactorization lu(kkt);
+    if (!lu.ok()) {
+      // Regularize the whole system once; if that also fails, bail out with
+      // whatever iterate we have.
+      for (std::size_t i = 0; i < n; ++i) kkt(i, i) += 1e-8;
+      for (std::size_t i = 0; i < me; ++i) kkt(n + i, n + i) -= 1e-8;
+      lu = num::LuFactorization(kkt);
+      if (!lu.ok()) {
+        hard_failure = true;
+        break;
+      }
+    }
+
+    auto solve_newton = [&](const num::Vector& rc) {
+      // Newton step for the perturbed KKT system with complementarity
+      // target rc: Z·ds + S·dz = rc − Z·S·e. Eliminating ds = −r_i − A·dx
+      // and dz = D·A·dx + (rc − z∘s + z∘r_i)/s gives the reduced system
+      // already factorized in `lu`.
+      num::Vector tmp(mi);
+      for (std::size_t i = 0; i < mi; ++i)
+        tmp[i] = (rc[i] - z[i] * s[i] + z[i] * res.ineq[i]) / s[i];
+      num::Vector rhs(n + me);
+      num::Vector rhs1 = -res.dual - problem.a_mat.transpose_times(tmp);
+      rhs.set_segment(0, rhs1);
+      if (me > 0) rhs.set_segment(n, -res.eq);
+      const num::Vector sol = lu.solve(rhs);
+      num::Vector dx = sol.segment(0, n);
+      num::Vector dy = sol.segment(n, me);
+      num::Vector ds = -res.ineq - problem.a_mat * dx;
+      num::Vector dz(mi);
+      for (std::size_t i = 0; i < mi; ++i)
+        dz[i] = (rc[i] - z[i] * s[i] - z[i] * ds[i]) / s[i];
+      struct Step {
+        num::Vector dx, dy, ds, dz;
+      };
+      return Step{std::move(dx), std::move(dy), std::move(ds), std::move(dz)};
+    };
+
+    // Predictor (affine): rc = 0 target → drive ZSe to 0.
+    num::Vector rc_aff(mi, 0.0);
+    auto aff = solve_newton(rc_aff);
+    const double a_s_aff = max_step(s, aff.ds, 1.0);
+    const double a_z_aff = max_step(z, aff.dz, 1.0);
+    const double alpha_aff = std::min(a_s_aff, a_z_aff);
+    double mu_aff = 0.0;
+    for (std::size_t i = 0; i < mi; ++i)
+      mu_aff += (s[i] + alpha_aff * aff.ds[i]) * (z[i] + alpha_aff * aff.dz[i]);
+    mu_aff /= static_cast<double>(mi);
+    const double sigma = std::pow(std::clamp(mu_aff / mu, 0.0, 1.0), 3);
+
+    // Corrector: rc = σμe − ΔS_aff·ΔZ_aff·e.
+    num::Vector rc(mi);
+    for (std::size_t i = 0; i < mi; ++i)
+      rc[i] = sigma * mu - aff.ds[i] * aff.dz[i];
+    auto step = solve_newton(rc);
+
+    const double tau = 0.995;
+    const double alpha =
+        std::min({max_step(s, step.ds, tau), max_step(z, step.dz, tau), 1.0});
+
+    x.add_scaled(alpha, step.dx);
+    if (me > 0) y.add_scaled(alpha, step.dy);
+    s.add_scaled(alpha, step.ds);
+    z.add_scaled(alpha, step.dz);
+  }
+
+  if (result.status != QpStatus::kSolved) {
+    // Hand back the best iterate, not the possibly-diverged last one. A
+    // near-converged iterate counts as solved: the typical "failure" mode
+    // is the barrier matrix blowing up the KKT factorization one iteration
+    // *after* the iterate has effectively converged.
+    x = best_x;
+    y = best_y;
+    z = best_z;
+    result.kkt_residual = best_residual;
+    if (best_residual <= 1e-5 * scale)
+      result.status = QpStatus::kSolved;
+    else
+      result.status =
+          hard_failure ? QpStatus::kNumericalIssue : QpStatus::kMaxIterations;
+  }
+  result.x = x;
+  result.y_eq = y;
+  result.z_ineq = z;
+  result.objective = objective_of(problem, x);
+  return result;
+}
+
+}  // namespace evc::opt

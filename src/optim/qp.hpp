@@ -1,0 +1,69 @@
+// Dense convex quadratic programming.
+//
+//   minimize    ½ xᵀH x + gᵀx
+//   subject to  E x = e          (equalities)
+//               A x ≤ b          (inequalities)
+//
+// Solved with a primal-dual interior-point method (Mehrotra
+// predictor-corrector). Chosen over active-set because it needs no feasible
+// starting point and has no combinatorial cycling — the SQP layer throws
+// mildly inconsistent linearizations at it every control step, and
+// regularize-and-retry is easier to reason about than active-set repair.
+//
+// Problem sizes here are MPC-scale (n ≲ 300, a few hundred constraints), so
+// dense LU of the reduced KKT system per IPM iteration is plenty fast.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "numerics/matrix.hpp"
+#include "numerics/vector.hpp"
+
+namespace evc::opt {
+
+struct QpProblem {
+  num::Matrix h;  ///< n×n, symmetric positive semidefinite (regularized here)
+  num::Vector g;  ///< n
+  num::Matrix e_mat;  ///< m_e×n equality matrix (may be 0×n)
+  num::Vector e_vec;  ///< m_e
+  num::Matrix a_mat;  ///< m_i×n inequality matrix (may be 0×n)
+  num::Vector b_vec;  ///< m_i
+
+  std::size_t num_vars() const { return g.size(); }
+  std::size_t num_eq() const { return e_vec.size(); }
+  std::size_t num_ineq() const { return b_vec.size(); }
+  /// Throws std::invalid_argument on inconsistent dimensions.
+  void validate() const;
+};
+
+enum class QpStatus {
+  kSolved,
+  kMaxIterations,   ///< best iterate returned; residuals not at tolerance
+  kNumericalIssue,  ///< KKT factorization failed even after regularization
+};
+
+struct QpResult {
+  QpStatus status = QpStatus::kNumericalIssue;
+  num::Vector x;          ///< primal solution
+  num::Vector y_eq;       ///< equality multipliers
+  num::Vector z_ineq;     ///< inequality multipliers (≥ 0)
+  double objective = 0.0;
+  std::size_t iterations = 0;
+  double kkt_residual = 0.0;  ///< max-norm of stationarity+feasibility
+
+  bool usable() const { return status != QpStatus::kNumericalIssue; }
+};
+
+struct QpOptions {
+  std::size_t max_iterations = 60;
+  double tolerance = 1e-8;      ///< residual + complementarity target
+  double regularization = 1e-9; ///< added to H's diagonal before solving
+};
+
+/// Solve a dense convex QP. H is symmetrized internally.
+QpResult solve_qp(const QpProblem& problem, const QpOptions& options = {});
+
+std::string to_string(QpStatus status);
+
+}  // namespace evc::opt

@@ -1,0 +1,181 @@
+#include "optim/sqp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::opt {
+
+std::string to_string(SqpStatus status) {
+  switch (status) {
+    case SqpStatus::kConverged:
+      return "converged";
+    case SqpStatus::kMaxIterations:
+      return "max-iterations";
+    case SqpStatus::kQpFailure:
+      return "qp-failure";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Σ max(Ax−b, 0): total linear inequality violation.
+double ineq_violation_l1(const num::Matrix& a, const num::Vector& b,
+                         const num::Vector& x) {
+  if (b.empty()) return 0.0;
+  const num::Vector ax = a * x;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    acc += std::max(ax[i] - b[i], 0.0);
+  return acc;
+}
+
+double ineq_violation_inf(const num::Matrix& a, const num::Vector& b,
+                          const num::Vector& x) {
+  if (b.empty()) return 0.0;
+  const num::Vector ax = a * x;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    acc = std::max(acc, ax[i] - b[i]);
+  return acc;
+}
+
+}  // namespace
+
+SqpResult SqpSolver::solve(const NlpProblem& problem,
+                           const num::Vector& x0) const {
+  const std::size_t n = problem.num_vars();
+  EVC_EXPECT(x0.size() == n, "SQP initial point dimension mismatch");
+  const num::Matrix& a_mat = problem.ineq_matrix();
+  const num::Vector& b_vec = problem.ineq_vector();
+
+  SqpResult result;
+  result.x = x0;
+  double nu = options_.initial_penalty;
+
+  auto merit = [&](const num::Vector& x) {
+    return problem.cost(x) +
+           nu * (problem.eq_constraints(x).norm1() +
+                 ineq_violation_l1(a_mat, b_vec, x));
+  };
+
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const num::Vector grad = problem.cost_gradient(result.x);
+    const num::Vector c = problem.eq_constraints(result.x);
+    const num::Matrix jac = problem.eq_jacobian(result.x);
+
+    // QP subproblem in the step d:
+    //   min ½dᵀHd + ∇fᵀd   s.t.  J·d = −c,  A·d ≤ b − A·x.
+    QpProblem qp;
+    qp.h = problem.cost_hessian(result.x);
+    for (std::size_t i = 0; i < n; ++i)
+      qp.h(i, i) += options_.hessian_regularization;
+    qp.g = grad;
+    qp.e_mat = jac;
+    qp.e_vec = -c;
+    qp.a_mat = a_mat;
+    if (b_vec.empty()) {
+      qp.b_vec = num::Vector(0);
+    } else {
+      qp.b_vec = b_vec - a_mat * result.x;
+    }
+
+    QpResult qp_result;
+    double extra_reg = options_.hessian_regularization;
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      qp_result = solve_qp(qp, options_.qp);
+      // A usable result must also be finite — a diverged interior point
+      // iterate poisons the line search otherwise.
+      bool finite = qp_result.usable();
+      if (finite)
+        for (std::size_t i = 0; i < n; ++i)
+          if (!std::isfinite(qp_result.x[i])) {
+            finite = false;
+            break;
+          }
+      if (finite) break;
+      qp_result.status = QpStatus::kNumericalIssue;
+      // Singular or diverging KKT: convexify harder and retry.
+      extra_reg = std::max(extra_reg * 100.0, 1e-6);
+      for (std::size_t i = 0; i < n; ++i) qp.h(i, i) += extra_reg;
+    }
+    if (!qp_result.usable()) {
+      result.status = SqpStatus::kQpFailure;
+      break;
+    }
+    result.qp_iterations_total += qp_result.iterations;
+    const num::Vector& d = qp_result.x;
+
+    const double c_inf = c.norm_inf();
+    const double ineq_inf = ineq_violation_inf(a_mat, b_vec, result.x);
+    if (d.norm_inf() <= options_.step_tolerance &&
+        c_inf <= options_.constraint_tolerance &&
+        ineq_inf <= options_.constraint_tolerance) {
+      result.status = SqpStatus::kConverged;
+      break;
+    }
+
+    // Keep the ℓ1 penalty above the multipliers so the merit function is
+    // exact (descent along the QP step is guaranteed).
+    double mult_inf = 0.0;
+    if (!qp_result.y_eq.empty())
+      mult_inf = std::max(mult_inf, qp_result.y_eq.norm_inf());
+    if (!qp_result.z_ineq.empty())
+      mult_inf = std::max(mult_inf, qp_result.z_ineq.norm_inf());
+    nu = std::max(nu, 2.0 * mult_inf + 1.0);
+
+    const double phi0 = merit(result.x);
+    const double viol0 = c.norm1() + ineq_violation_l1(a_mat, b_vec, result.x);
+    // Directional derivative of the merit along d (upper bound).
+    const double descent = grad.dot(d) - nu * viol0;
+
+    double t = 1.0;
+    num::Vector candidate = result.x;
+    bool stepped = false;
+    for (std::size_t ls = 0; ls < options_.max_line_search_steps; ++ls) {
+      candidate = result.x;
+      candidate.add_scaled(t, d);
+      const double phi = merit(candidate);
+      if (phi <= phi0 + 1e-4 * t * std::min(descent, 0.0)) {
+        stepped = true;
+        break;
+      }
+      t *= 0.5;
+    }
+    if (!stepped) {
+      // The merit cannot be decreased along this direction (numerical
+      // stagnation). Accept convergence at the current iterate if it is
+      // feasible, otherwise report max-iterations with the best point.
+      result.status = (c_inf <= options_.constraint_tolerance &&
+                       ineq_inf <= options_.constraint_tolerance)
+                          ? SqpStatus::kConverged
+                          : SqpStatus::kMaxIterations;
+      break;
+    }
+    result.x = candidate;
+    result.status = SqpStatus::kMaxIterations;  // until proven converged
+
+    // Merit stagnation at a feasible iterate: converged for all practical
+    // purposes — don't burn the remaining iterations.
+    const double phi_new = merit(result.x);
+    if (phi0 - phi_new <= 1e-7 * (1.0 + std::abs(phi_new)) &&
+        problem.eq_constraints(result.x).norm_inf() <=
+            options_.constraint_tolerance &&
+        ineq_violation_inf(a_mat, b_vec, result.x) <=
+            options_.constraint_tolerance) {
+      result.status = SqpStatus::kConverged;
+      break;
+    }
+  }
+
+  result.cost = problem.cost(result.x);
+  result.constraint_violation =
+      std::max(problem.eq_constraints(result.x).norm_inf(),
+               ineq_violation_inf(a_mat, b_vec, result.x));
+  return result;
+}
+
+}  // namespace evc::opt

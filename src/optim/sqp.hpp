@@ -1,0 +1,60 @@
+// Sequential Quadratic Programming for the MPC's bilinear program.
+//
+// Per iteration: linearize the equalities around the iterate, solve the
+// convex QP subproblem (exact cost Hessian + regularization), then globalize
+// with a backtracking line search on the ℓ1 merit function
+//     φ(x) = f(x) + ν·‖c(x)‖₁ + ν·‖(A x − b)₊‖₁.
+// The paper prescribes exactly this solver family for the HVAC MPC
+// (Kelman & Borrelli, IFAC'11 — bilinear HVAC MPC via SQP).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "optim/nlp.hpp"
+#include "optim/qp.hpp"
+
+namespace evc::opt {
+
+enum class SqpStatus {
+  kConverged,       ///< step and constraint violation below tolerance
+  kMaxIterations,   ///< best iterate returned
+  kQpFailure,       ///< QP subproblem unsolvable even with elastic relaxation
+};
+
+struct SqpOptions {
+  std::size_t max_iterations = 30;
+  double step_tolerance = 1e-6;        ///< ‖d‖∞ for convergence
+  double constraint_tolerance = 1e-6;  ///< ‖c(x)‖∞ for convergence
+  double initial_penalty = 10.0;       ///< ν for the ℓ1 merit
+  double hessian_regularization = 1e-8;
+  std::size_t max_line_search_steps = 25;
+  QpOptions qp;
+};
+
+struct SqpResult {
+  SqpStatus status = SqpStatus::kQpFailure;
+  num::Vector x;
+  double cost = 0.0;
+  double constraint_violation = 0.0;  ///< ‖c(x)‖∞ at the final iterate
+  std::size_t iterations = 0;
+  std::size_t qp_iterations_total = 0;
+
+  bool usable() const { return status != SqpStatus::kQpFailure; }
+};
+
+class SqpSolver {
+ public:
+  explicit SqpSolver(SqpOptions options = {}) : options_(options) {}
+
+  /// Solve `problem` starting from `x0` (size num_vars()). `x0` need not be
+  /// feasible.
+  SqpResult solve(const NlpProblem& problem, const num::Vector& x0) const;
+
+ private:
+  SqpOptions options_;
+};
+
+std::string to_string(SqpStatus status);
+
+}  // namespace evc::opt

@@ -1,0 +1,30 @@
+// Electrical motor efficiency map (paper §II-B: "ηm is highly dependent on
+// the motor rotational speed and the generated torque").
+//
+// The map is a bilinear lookup over (rotor speed rad/s, |torque| N·m) with
+// the characteristic PMSM shape: a broad ≈92 % island at mid speed /
+// mid torque, dropping toward standstill (copper losses dominate), very low
+// torque (iron/windage losses dominate) and the corners of the envelope.
+#pragma once
+
+#include "util/interp.hpp"
+
+namespace evc::pt {
+
+class MotorEfficiencyMap {
+ public:
+  /// Leaf-class 80 kW PMSM map.
+  MotorEfficiencyMap();
+
+  /// Efficiency in (0, 1] for a rotor speed (rad/s) and shaft torque (N·m,
+  /// sign ignored — the map is symmetric between motor and generator mode).
+  double efficiency(double rotor_speed_rad_s, double torque_nm) const;
+
+  double peak_efficiency() const { return peak_; }
+
+ private:
+  LookupTable2D map_;
+  double peak_ = 0.0;
+};
+
+}  // namespace evc::pt

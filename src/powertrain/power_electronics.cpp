@@ -1,0 +1,57 @@
+#include "powertrain/power_electronics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::pt {
+
+TractionInverter::TractionInverter(double rated_power_w)
+    : rated_power_w_(rated_power_w),
+      // IGBT bridge shape: switching losses hurt light load, conduction
+      // losses shave the top end slightly.
+      efficiency_curve_({0.0, 0.02, 0.05, 0.10, 0.25, 0.50, 0.75, 1.00},
+                        {0.50, 0.80, 0.90, 0.945, 0.97, 0.975, 0.972,
+                         0.965}) {
+  EVC_EXPECT(rated_power_w_ > 0.0, "inverter rating must be positive");
+}
+
+double TractionInverter::efficiency(double power_w) const {
+  const double load = std::min(std::abs(power_w) / rated_power_w_, 1.0);
+  return efficiency_curve_(load);
+}
+
+double TractionInverter::dc_input_power(double ac_output_w) const {
+  EVC_EXPECT(ac_output_w >= 0.0, "motoring output must be >= 0");
+  if (ac_output_w == 0.0) return 0.0;
+  return ac_output_w / efficiency(ac_output_w);
+}
+
+double TractionInverter::dc_recovered_power(double ac_input_w) const {
+  EVC_EXPECT(ac_input_w >= 0.0, "regeneration input must be >= 0");
+  return ac_input_w * efficiency(ac_input_w);
+}
+
+DcDcConverter::DcDcConverter(double rated_power_w, double peak_efficiency)
+    : rated_power_w_(rated_power_w), peak_efficiency_(peak_efficiency) {
+  EVC_EXPECT(rated_power_w_ > 0.0, "DC/DC rating must be positive");
+  EVC_EXPECT(peak_efficiency_ > 0.0 && peak_efficiency_ <= 1.0,
+             "DC/DC efficiency outside (0, 1]");
+}
+
+double DcDcConverter::efficiency(double output_w) const {
+  EVC_EXPECT(output_w >= 0.0, "DC/DC load must be >= 0");
+  // Fixed standby loss (2 % of rating) folded into an efficiency view.
+  const double standby = 0.02 * rated_power_w_;
+  if (output_w <= 0.0) return peak_efficiency_;
+  return output_w / (output_w / peak_efficiency_ + standby);
+}
+
+double DcDcConverter::input_power(double output_w) const {
+  EVC_EXPECT(output_w >= 0.0, "DC/DC load must be >= 0");
+  const double standby = 0.02 * rated_power_w_;
+  return output_w / peak_efficiency_ + standby;
+}
+
+}  // namespace evc::pt

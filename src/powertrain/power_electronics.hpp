@@ -1,0 +1,52 @@
+// Power-electronics efficiency models (paper §I: "Other components inside
+// EV, e.g. power converters, inverters, electrical motor, etc. demonstrate
+// different efficiency in various conditions. Hence, the BMS may optimize
+// the battery or HESS usage based on the components' efficiency map.").
+//
+// * TractionInverter — DC→AC stage between pack and motor. Efficiency
+//   curve: poor at light load (switching losses dominate), ~0.97 plateau.
+// * DcDcConverter — HV→12 V accessory rail.
+// Both are load-dependent maps usable by the trip planner's energy
+// prediction; the motor map in motor_map.cpp folds a *fixed* inverter loss,
+// these models expose the load dependence explicitly.
+#pragma once
+
+#include "util/interp.hpp"
+
+namespace evc::pt {
+
+class TractionInverter {
+ public:
+  /// `rated_power_w` scales the loss curve (Leaf-class 80 kW default).
+  explicit TractionInverter(double rated_power_w = 80e3);
+
+  double rated_power_w() const { return rated_power_w_; }
+
+  /// Conversion efficiency in (0, 1] at a given throughput (|W|, either
+  /// direction — the bridge is symmetric).
+  double efficiency(double power_w) const;
+
+  /// DC-side power for a desired AC-side output (motoring, W ≥ 0).
+  double dc_input_power(double ac_output_w) const;
+  /// DC-side power recovered for an AC-side regeneration input (W ≥ 0).
+  double dc_recovered_power(double ac_input_w) const;
+
+ private:
+  double rated_power_w_;
+  LookupTable1D efficiency_curve_;  ///< vs load fraction
+};
+
+class DcDcConverter {
+ public:
+  DcDcConverter(double rated_power_w = 1500.0, double peak_efficiency = 0.93);
+
+  /// HV-side draw for a 12 V-side load (W ≥ 0).
+  double input_power(double output_w) const;
+  double efficiency(double output_w) const;
+
+ private:
+  double rated_power_w_;
+  double peak_efficiency_;
+};
+
+}  // namespace evc::pt

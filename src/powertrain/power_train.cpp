@@ -1,0 +1,61 @@
+#include "powertrain/power_train.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::pt {
+
+PowerTrain::PowerTrain(VehicleParams params) : road_load_(params) {}
+
+TractionPower PowerTrain::power(const drive::DriveSample& sample) const {
+  const VehicleParams& p = params();
+  TractionPower out;
+  out.tractive_force_n = road_load_.tractive_force(
+      sample.speed_mps, sample.accel_mps2, sample.slope_percent);
+  out.mechanical_power_w = out.tractive_force_n * sample.speed_mps;
+
+  const double wheel_speed =
+      sample.speed_mps / p.wheel_radius_m;  // rad/s
+  const double rotor_speed = wheel_speed * p.gear_ratio;
+  const double motor_torque =
+      rotor_speed > 1e-9
+          ? out.mechanical_power_w / rotor_speed
+          : 0.0;
+  out.motor_efficiency = motor_map_.efficiency(rotor_speed, motor_torque);
+
+  if (out.mechanical_power_w >= 0.0) {
+    // Motor mode: the battery supplies the mechanical power plus losses.
+    out.electrical_power_w =
+        std::min(out.mechanical_power_w / out.motor_efficiency,
+                 p.max_motor_power_w);
+  } else {
+    // Generator mode: losses reduce what reaches the battery; recuperation
+    // is capped and the friction brakes take the rest.
+    out.electrical_power_w =
+        std::max(out.mechanical_power_w * out.motor_efficiency,
+                 -p.max_regen_power_w);
+  }
+  return out;
+}
+
+std::vector<double> PowerTrain::power_trace(
+    const drive::DriveProfile& profile) const {
+  std::vector<double> trace(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i)
+    trace[i] = power(profile[i]).electrical_power_w;
+  return trace;
+}
+
+double PowerTrain::trip_energy_j(const drive::DriveProfile& profile) const {
+  double energy = 0.0;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    energy += (power(profile[i]).electrical_power_w +
+               params().accessory_power_w) *
+              profile.dt();
+  }
+  return energy;
+}
+
+}  // namespace evc::pt

@@ -1,0 +1,45 @@
+// Power train model (paper §II-B): drive sample → electrical motor power.
+//
+// Motor mode:      Pe = Ftr·v / ηm            (Eq. 6)
+// Generator mode:  Pe = Ftr·v · ηm, clamped to the recuperation cap; the
+//                  friction brakes absorb the remainder.
+#pragma once
+
+#include "drivecycle/drive_profile.hpp"
+#include "powertrain/motor_map.hpp"
+#include "powertrain/road_load.hpp"
+#include "powertrain/vehicle_params.hpp"
+
+namespace evc::pt {
+
+/// Electrical power breakdown at one drive sample (W; negative = into the
+/// battery via regeneration).
+struct TractionPower {
+  double tractive_force_n = 0.0;
+  double mechanical_power_w = 0.0;  ///< Ftr·v at the wheel
+  double motor_efficiency = 1.0;
+  double electrical_power_w = 0.0;  ///< battery-side motor draw
+};
+
+class PowerTrain {
+ public:
+  explicit PowerTrain(VehicleParams params);
+
+  const VehicleParams& params() const { return road_load_.params(); }
+
+  /// Motor electrical power for one environment sample.
+  TractionPower power(const drive::DriveSample& sample) const;
+
+  /// Motor power trace for an entire profile (W, one entry per sample).
+  std::vector<double> power_trace(const drive::DriveProfile& profile) const;
+
+  /// Energy drawn from the battery over a profile (J), including regen
+  /// credit and the constant accessory load.
+  double trip_energy_j(const drive::DriveProfile& profile) const;
+
+ private:
+  RoadLoadModel road_load_;
+  MotorEfficiencyMap motor_map_;
+};
+
+}  // namespace evc::pt

@@ -1,0 +1,39 @@
+#include "powertrain/road_load.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/units.hpp"
+
+namespace evc::pt {
+
+RoadLoadModel::RoadLoadModel(VehicleParams params) : params_(params) {
+  params_.validate();
+}
+
+RoadLoad RoadLoadModel::road_load(double speed_mps,
+                                  double slope_percent) const {
+  EVC_EXPECT(speed_mps >= 0.0, "road load requires speed >= 0");
+  RoadLoad load;
+  const double v_air = speed_mps + params_.headwind_mps;
+  load.aero_n = 0.5 * consts::kAirDensity * params_.drag_coefficient *
+                params_.frontal_area_m2 * v_air * std::abs(v_air);
+  load.grade_n = params_.mass_kg * consts::kGravity *
+                 std::sin(units::grade_percent_to_angle(slope_percent));
+  // Rolling resistance vanishes at standstill; quadratic speed correction
+  // per Eq. 4.
+  load.rolling_n =
+      speed_mps > 0.0
+          ? params_.mass_kg * consts::kGravity *
+                (params_.rolling_c0 + params_.rolling_c1 * speed_mps * speed_mps)
+          : 0.0;
+  return load;
+}
+
+double RoadLoadModel::tractive_force(double speed_mps, double accel_mps2,
+                                     double slope_percent) const {
+  return road_load(speed_mps, slope_percent).total() +
+         params_.mass_kg * accel_mps2;
+}
+
+}  // namespace evc::pt

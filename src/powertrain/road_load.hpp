@@ -1,0 +1,34 @@
+// Road load and tractive force (paper Eq. 1–5).
+#pragma once
+
+#include "powertrain/vehicle_params.hpp"
+
+namespace evc::pt {
+
+/// Breakdown of the road load force at one operating point (N).
+struct RoadLoad {
+  double aero_n = 0.0;     ///< Faero, Eq. 2
+  double grade_n = 0.0;    ///< Fgr, Eq. 3
+  double rolling_n = 0.0;  ///< Froll, Eq. 4
+  double total() const { return aero_n + grade_n + rolling_n; }
+};
+
+class RoadLoadModel {
+ public:
+  explicit RoadLoadModel(VehicleParams params);
+
+  const VehicleParams& params() const { return params_; }
+
+  /// Road load Frd at speed (m/s) and slope (percent grade). Requires
+  /// speed ≥ 0.
+  RoadLoad road_load(double speed_mps, double slope_percent) const;
+
+  /// Tractive force Ftr = Frd + m·a (Eq. 5). Negative values mean braking.
+  double tractive_force(double speed_mps, double accel_mps2,
+                        double slope_percent) const;
+
+ private:
+  VehicleParams params_;
+};
+
+}  // namespace evc::pt

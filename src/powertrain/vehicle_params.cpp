@@ -1,0 +1,23 @@
+#include "powertrain/vehicle_params.hpp"
+
+#include "util/expect.hpp"
+
+namespace evc::pt {
+
+void VehicleParams::validate() const {
+  EVC_EXPECT(mass_kg > 0.0, "vehicle mass must be positive");
+  EVC_EXPECT(drag_coefficient > 0.0 && drag_coefficient < 2.0,
+             "drag coefficient outside plausible range");
+  EVC_EXPECT(frontal_area_m2 > 0.0, "frontal area must be positive");
+  EVC_EXPECT(rolling_c0 >= 0.0 && rolling_c1 >= 0.0,
+             "rolling resistance coefficients must be non-negative");
+  EVC_EXPECT(wheel_radius_m > 0.0, "wheel radius must be positive");
+  EVC_EXPECT(gear_ratio > 0.0, "gear ratio must be positive");
+  EVC_EXPECT(max_motor_power_w > 0.0, "motor power limit must be positive");
+  EVC_EXPECT(max_regen_power_w >= 0.0, "regen power cap must be >= 0");
+  EVC_EXPECT(accessory_power_w >= 0.0, "accessory power must be >= 0");
+}
+
+VehicleParams nissan_leaf_params() { return VehicleParams{}; }
+
+}  // namespace evc::pt

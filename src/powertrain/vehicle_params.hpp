@@ -1,0 +1,34 @@
+// Vehicle-level parameters of the power train model (paper §II-B, Eq. 1–6).
+//
+// Defaults follow the Nissan Leaf, the vehicle the paper calibrates
+// against (Hayes et al., "Simplified Electric Vehicle Power Train Models
+// and Range Estimation", VPPC'11).
+#pragma once
+
+namespace evc::pt {
+
+struct VehicleParams {
+  double mass_kg = 1521.0;        ///< curb + driver
+  double drag_coefficient = 0.29; ///< Cx
+  double frontal_area_m2 = 2.27;  ///< A
+  double rolling_c0 = 0.008;      ///< rolling resistance, constant term
+  double rolling_c1 = 1.6e-6;     ///< rolling resistance, v² term (s²/m²)
+  double wheel_radius_m = 0.316;
+  double gear_ratio = 7.94;       ///< single-speed reduction
+  double headwind_mps = 0.0;      ///< vwind in Eq. 2
+
+  double max_motor_power_w = 80e3;
+  /// Regenerative braking recuperation cap (brake blending takes the rest).
+  double max_regen_power_w = 30e3;
+  /// Fixed accessory draw (infotainment, pumps, 12 V loads) — the paper's
+  /// third, constant consumption category.
+  double accessory_power_w = 250.0;
+
+  /// Throws std::invalid_argument if physically inconsistent.
+  void validate() const;
+};
+
+/// Nissan-Leaf-class defaults (the paper's calibration target).
+VehicleParams nissan_leaf_params();
+
+}  // namespace evc::pt

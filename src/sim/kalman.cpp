@@ -1,0 +1,82 @@
+#include "sim/kalman.hpp"
+
+#include <stdexcept>
+
+#include "numerics/factorization.hpp"
+#include "util/expect.hpp"
+
+namespace evc::sim {
+
+KalmanFilter::KalmanFilter(num::Matrix f, num::Matrix b, num::Matrix h,
+                           num::Matrix q, num::Matrix r, num::Vector x0,
+                           num::Matrix p0)
+    : f_(std::move(f)), b_(std::move(b)), h_(std::move(h)), q_(std::move(q)),
+      r_(std::move(r)), x_(std::move(x0)), p_(std::move(p0)) {
+  const std::size_t n = x_.size();
+  EVC_EXPECT(f_.rows() == n && f_.cols() == n, "KF: F must be n×n");
+  EVC_EXPECT(b_.rows() == n, "KF: B must have n rows");
+  EVC_EXPECT(h_.cols() == n, "KF: H must have n columns");
+  EVC_EXPECT(q_.rows() == n && q_.cols() == n, "KF: Q must be n×n");
+  const std::size_t m = h_.rows();
+  EVC_EXPECT(r_.rows() == m && r_.cols() == m, "KF: R must be m×m");
+  EVC_EXPECT(p_.rows() == n && p_.cols() == n, "KF: P0 must be n×n");
+}
+
+void KalmanFilter::predict(const num::Vector& u) {
+  EVC_EXPECT(u.size() == b_.cols(), "KF: control dimension mismatch");
+  x_ = f_ * x_ + b_ * u;
+  p_ = f_ * p_ * f_.transposed();
+  p_ += q_;
+  p_.symmetrize();
+}
+
+void KalmanFilter::update(const num::Vector& z) {
+  EVC_EXPECT(z.size() == h_.rows(), "KF: measurement dimension mismatch");
+  const num::Vector innovation = z - h_ * x_;
+  num::Matrix s = h_ * p_ * h_.transposed();
+  s += r_;
+  num::LuFactorization lu(s);
+  if (!lu.ok())
+    throw std::runtime_error("KalmanFilter: singular innovation covariance");
+
+  // Gain K = P Hᵀ S⁻¹, applied column-wise through the factorization.
+  const num::Matrix pht = p_ * h_.transposed();
+  const std::size_t n = x_.size();
+  const std::size_t m = z.size();
+  num::Matrix gain(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Row i of K solves Sᵀ kᵢ = (P Hᵀ) row i; S is symmetric.
+    const num::Vector ki = lu.solve(pht.row(i));
+    for (std::size_t j = 0; j < m; ++j) gain(i, j) = ki[j];
+  }
+
+  x_ += gain * innovation;
+  num::Matrix i_kh = num::Matrix::identity(n);
+  i_kh -= gain * h_;
+  p_ = i_kh * p_;
+  p_.symmetrize();
+}
+
+CabinTempEstimator::CabinTempEstimator(double initial_temp_c,
+                                       double process_noise,
+                                       double measurement_noise)
+    : x_(initial_temp_c), p_(1.0), q_(process_noise), r_(measurement_noise) {
+  EVC_EXPECT(process_noise > 0.0 && measurement_noise > 0.0,
+             "noise variances must be positive");
+}
+
+void CabinTempEstimator::step(double predicted_next_temp, double decay,
+                              double measured) {
+  EVC_EXPECT(decay > 0.0 && decay <= 1.0,
+             "cabin decay factor outside (0, 1]");
+  // Predict: the caller already propagated the estimate through the exact
+  // cabin step; only the variance needs the sensitivity.
+  x_ = predicted_next_temp;
+  p_ = decay * decay * p_ + q_;
+  // Update against the noisy sensor.
+  const double gain = p_ / (p_ + r_);
+  x_ += gain * (measured - x_);
+  p_ *= (1.0 - gain);
+}
+
+}  // namespace evc::sim

@@ -1,0 +1,68 @@
+// Linear Kalman filter and the cabin-temperature estimator built on it.
+//
+// The paper's Algorithm 1 feeds the measured cabin temperature straight
+// into the MPC (x0|t = Tz at line 21). A production climate controller
+// reads a noisy, quantized NTC sensor; this module provides the standard
+// fix — a Kalman filter on the (linear, per-step) cabin dynamics — so the
+// robustness bench can quantify how sensor noise degrades each
+// methodology and how much filtering recovers.
+#pragma once
+
+#include "numerics/matrix.hpp"
+#include "numerics/vector.hpp"
+
+namespace evc::sim {
+
+/// Discrete-time linear Kalman filter:
+///   x_{k+1} = F x_k + B u_k + w,  w ~ N(0, Q)
+///   z_k     = H x_k + v,          v ~ N(0, R)
+class KalmanFilter {
+ public:
+  /// Dimensions are fixed by the matrices; `x0`/`p0` give the initial
+  /// state belief.
+  KalmanFilter(num::Matrix f, num::Matrix b, num::Matrix h, num::Matrix q,
+               num::Matrix r, num::Vector x0, num::Matrix p0);
+
+  const num::Vector& state() const { return x_; }
+  const num::Matrix& covariance() const { return p_; }
+
+  /// Time update with control input u.
+  void predict(const num::Vector& u);
+  /// Measurement update with observation z. Throws std::runtime_error if
+  /// the innovation covariance is singular.
+  void update(const num::Vector& z);
+
+ private:
+  num::Matrix f_, b_, h_, q_, r_;
+  num::Vector x_;
+  num::Matrix p_;
+};
+
+/// One-state Kalman estimator for the cabin temperature: per step the
+/// (linear) exact cabin dynamics give Tz⁺ = α·Tz + β, with α, β computed
+/// from the applied HVAC inputs — supplied by the caller as the predicted
+/// next temperature and its sensitivity. Scalar arithmetic (no matrices)
+/// since the cabin state is one-dimensional.
+class CabinTempEstimator {
+ public:
+  /// `process_noise` is the per-step model error variance (K²),
+  /// `measurement_noise` the sensor variance (K²).
+  CabinTempEstimator(double initial_temp_c, double process_noise,
+                     double measurement_noise);
+
+  double estimate() const { return x_; }
+  double variance() const { return p_; }
+
+  /// Advance: `predicted_next_temp` is the model's exact-step prediction
+  /// from the current *estimate*, `decay` its sensitivity ∂Tz⁺/∂Tz
+  /// (e^{−rate·dt} of the cabin ODE), and `measured` the noisy sensor.
+  void step(double predicted_next_temp, double decay, double measured);
+
+ private:
+  double x_;  ///< state estimate (°C)
+  double p_;  ///< estimate variance (K²)
+  double q_;  ///< process noise (K² per step)
+  double r_;  ///< measurement noise (K²)
+};
+
+}  // namespace evc::sim

@@ -1,0 +1,144 @@
+#include "sim/ode.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/expect.hpp"
+
+namespace evc::sim {
+
+namespace {
+
+void euler_step(const OdeRhs& rhs, double t, double h, std::vector<double>& x,
+                std::vector<double>& k) {
+  rhs(t, x, k);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += h * k[i];
+}
+
+void rk4_step(const OdeRhs& rhs, double t, double h, std::vector<double>& x,
+              std::vector<std::vector<double>>& work) {
+  const std::size_t n = x.size();
+  auto& k1 = work[0];
+  auto& k2 = work[1];
+  auto& k3 = work[2];
+  auto& k4 = work[3];
+  auto& tmp = work[4];
+
+  rhs(t, x, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + 0.5 * h * k1[i];
+  rhs(t + 0.5 * h, tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + 0.5 * h * k2[i];
+  rhs(t + 0.5 * h, tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + h * k3[i];
+  rhs(t + h, tmp, k4);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+}
+
+}  // namespace
+
+std::vector<double> integrate_fixed(const OdeRhs& rhs, std::vector<double> x0,
+                                    double t0, double t1, double dt,
+                                    OdeMethod method) {
+  EVC_EXPECT(dt > 0.0, "integrate_fixed: dt must be positive");
+  EVC_EXPECT(t1 >= t0, "integrate_fixed: t1 must be >= t0");
+  const std::size_t n = x0.size();
+  std::vector<std::vector<double>> work(5, std::vector<double>(n));
+  double t = t0;
+  while (t < t1 - 1e-12) {
+    const double h = std::min(dt, t1 - t);
+    if (method == OdeMethod::kEuler)
+      euler_step(rhs, t, h, x0, work[0]);
+    else
+      rk4_step(rhs, t, h, x0, work);
+    t += h;
+  }
+  return x0;
+}
+
+std::vector<double> integrate_adaptive(const OdeRhs& rhs,
+                                       std::vector<double> x0, double t0,
+                                       double t1,
+                                       const AdaptiveOptions& options) {
+  EVC_EXPECT(t1 >= t0, "integrate_adaptive: t1 must be >= t0");
+  const std::size_t n = x0.size();
+  if (t1 == t0 || n == 0) return x0;
+
+  // Dormand–Prince RK5(4) coefficients.
+  static constexpr double c2 = 1.0 / 5, c3 = 3.0 / 10, c4 = 4.0 / 5,
+                          c5 = 8.0 / 9;
+  static constexpr double a21 = 1.0 / 5;
+  static constexpr double a31 = 3.0 / 40, a32 = 9.0 / 40;
+  static constexpr double a41 = 44.0 / 45, a42 = -56.0 / 15, a43 = 32.0 / 9;
+  static constexpr double a51 = 19372.0 / 6561, a52 = -25360.0 / 2187,
+                          a53 = 64448.0 / 6561, a54 = -212.0 / 729;
+  static constexpr double a61 = 9017.0 / 3168, a62 = -355.0 / 33,
+                          a63 = 46732.0 / 5247, a64 = 49.0 / 176,
+                          a65 = -5103.0 / 18656;
+  static constexpr double b1 = 35.0 / 384, b3 = 500.0 / 1113, b4 = 125.0 / 192,
+                          b5 = -2187.0 / 6784, b6 = 11.0 / 84;
+  static constexpr double e1 = 71.0 / 57600, e3 = -71.0 / 16695,
+                          e4 = 71.0 / 1920, e5 = -17253.0 / 339200,
+                          e6 = 22.0 / 525, e7 = -1.0 / 40;
+
+  std::vector<std::vector<double>> k(7, std::vector<double>(n));
+  std::vector<double> tmp(n), x5(n);
+
+  double t = t0;
+  double h = std::min(options.initial_step, t1 - t0);
+  std::size_t steps = 0;
+  rhs(t, x0, k[0]);  // FSAL seed
+
+  while (t < t1 - 1e-12) {
+    if (++steps > options.max_steps)
+      throw std::runtime_error("integrate_adaptive: max step count exceeded");
+    h = std::min(h, t1 - t);
+
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = x0[i] + h * a21 * k[0][i];
+    rhs(t + c2 * h, tmp, k[1]);
+    for (std::size_t i = 0; i < n; ++i)
+      tmp[i] = x0[i] + h * (a31 * k[0][i] + a32 * k[1][i]);
+    rhs(t + c3 * h, tmp, k[2]);
+    for (std::size_t i = 0; i < n; ++i)
+      tmp[i] = x0[i] + h * (a41 * k[0][i] + a42 * k[1][i] + a43 * k[2][i]);
+    rhs(t + c4 * h, tmp, k[3]);
+    for (std::size_t i = 0; i < n; ++i)
+      tmp[i] = x0[i] + h * (a51 * k[0][i] + a52 * k[1][i] + a53 * k[2][i] +
+                            a54 * k[3][i]);
+    rhs(t + c5 * h, tmp, k[4]);
+    for (std::size_t i = 0; i < n; ++i)
+      tmp[i] = x0[i] + h * (a61 * k[0][i] + a62 * k[1][i] + a63 * k[2][i] +
+                            a64 * k[3][i] + a65 * k[4][i]);
+    rhs(t + h, tmp, k[5]);
+    for (std::size_t i = 0; i < n; ++i)
+      x5[i] = x0[i] + h * (b1 * k[0][i] + b3 * k[2][i] + b4 * k[3][i] +
+                           b5 * k[4][i] + b6 * k[5][i]);
+    rhs(t + h, x5, k[6]);
+
+    // Error estimate (difference of 5th and embedded 4th order solutions).
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = h * (e1 * k[0][i] + e3 * k[2][i] + e4 * k[3][i] +
+                            e5 * k[4][i] + e6 * k[5][i] + e7 * k[6][i]);
+      const double sc = options.abs_tol +
+                        options.rel_tol *
+                            std::max(std::abs(x0[i]), std::abs(x5[i]));
+      err = std::max(err, std::abs(e) / sc);
+    }
+
+    if (err <= 1.0) {
+      t += h;
+      x0 = x5;
+      k[0] = k[6];  // FSAL
+    }
+    const double factor =
+        std::clamp(0.9 * std::pow(std::max(err, 1e-10), -0.2), 0.2, 5.0);
+    h *= factor;
+    if (h < options.min_step)
+      throw std::runtime_error("integrate_adaptive: step size collapsed");
+  }
+  return x0;
+}
+
+}  // namespace evc::sim

@@ -1,0 +1,41 @@
+// Explicit ODE integration for the continuous-time plant models.
+//
+// The paper's MPC controls a plant simulated by AMESim; our substitute plant
+// integrates the same low-order ODEs (cabin thermal balance, battery charge)
+// with a fixed-step integrator running finer than the 1 s control step, plus
+// an adaptive RK45 used by tests as a reference solution.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace evc::sim {
+
+/// dx/dt = f(t, x) — `dxdt` is pre-sized to x.size().
+using OdeRhs = std::function<void(double t, const std::vector<double>& x,
+                                  std::vector<double>& dxdt)>;
+
+enum class OdeMethod { kEuler, kRk4 };
+
+/// Integrate from (t0, x0) to t1 with fixed step dt (the last step is
+/// shortened to land exactly on t1). Returns x(t1).
+std::vector<double> integrate_fixed(const OdeRhs& rhs, std::vector<double> x0,
+                                    double t0, double t1, double dt,
+                                    OdeMethod method = OdeMethod::kRk4);
+
+struct AdaptiveOptions {
+  double abs_tol = 1e-8;
+  double rel_tol = 1e-8;
+  double initial_step = 1e-2;
+  double min_step = 1e-10;
+  std::size_t max_steps = 2'000'000;
+};
+
+/// Dormand–Prince RK45 with PI step-size control. Throws std::runtime_error
+/// if the step collapses below min_step (stiff / inconsistent model).
+std::vector<double> integrate_adaptive(const OdeRhs& rhs,
+                                       std::vector<double> x0, double t0,
+                                       double t1,
+                                       const AdaptiveOptions& options = {});
+
+}  // namespace evc::sim

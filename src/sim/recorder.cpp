@@ -1,0 +1,65 @@
+#include "sim/recorder.hpp"
+
+#include "util/csv.hpp"
+#include "util/expect.hpp"
+
+namespace evc::sim {
+
+void StateRecorder::record(const std::string& channel, double t,
+                           double value) {
+  auto& ch = channels_[channel];
+  ch.t.push_back(t);
+  ch.v.push_back(value);
+}
+
+bool StateRecorder::has(const std::string& channel) const {
+  return channels_.count(channel) > 0;
+}
+
+const StateRecorder::Channel& StateRecorder::channel_or_throw(
+    const std::string& name) const {
+  const auto it = channels_.find(name);
+  EVC_EXPECT(it != channels_.end(), "unknown recorder channel: " + name);
+  return it->second;
+}
+
+const std::vector<double>& StateRecorder::values(
+    const std::string& channel) const {
+  return channel_or_throw(channel).v;
+}
+
+const std::vector<double>& StateRecorder::times(
+    const std::string& channel) const {
+  return channel_or_throw(channel).t;
+}
+
+std::vector<std::string> StateRecorder::channels() const {
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, _] : channels_) names.push_back(name);
+  return names;
+}
+
+std::size_t StateRecorder::samples(const std::string& channel) const {
+  return channel_or_throw(channel).v.size();
+}
+
+void StateRecorder::write_csv(const std::string& path) const {
+  EVC_EXPECT(!channels_.empty(), "write_csv on empty recorder");
+  std::vector<std::string> header{"t"};
+  std::size_t rows = channels_.begin()->second.v.size();
+  for (const auto& [name, ch] : channels_) {
+    EVC_EXPECT(ch.v.size() == rows,
+               "write_csv: channels have different lengths");
+    header.push_back(name);
+  }
+  CsvWriter csv(path, header);
+  const auto& t = channels_.begin()->second.t;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> row{t[r]};
+    for (const auto& [name, ch] : channels_) row.push_back(ch.v[r]);
+    csv.write_row(row);
+  }
+}
+
+}  // namespace evc::sim

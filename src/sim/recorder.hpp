@@ -1,0 +1,38 @@
+// Named time-series recorder for closed-loop simulations.
+//
+// The simulation loop appends one sample per control step; benches and
+// examples read channels back for statistics or dump them to CSV.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace evc::sim {
+
+class StateRecorder {
+ public:
+  /// Append a sample to `channel` at time `t`. All channels share the time
+  /// base: within one time step record every channel exactly once.
+  void record(const std::string& channel, double t, double value);
+
+  bool has(const std::string& channel) const;
+  const std::vector<double>& values(const std::string& channel) const;
+  const std::vector<double>& times(const std::string& channel) const;
+  std::vector<std::string> channels() const;
+  std::size_t samples(const std::string& channel) const;
+
+  /// Write all channels to CSV (outer join on recording order; channels must
+  /// have equal lengths).
+  void write_csv(const std::string& path) const;
+
+ private:
+  struct Channel {
+    std::vector<double> t;
+    std::vector<double> v;
+  };
+  const Channel& channel_or_throw(const std::string& name) const;
+  std::map<std::string, Channel> channels_;
+};
+
+}  // namespace evc::sim

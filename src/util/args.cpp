@@ -1,0 +1,88 @@
+#include "util/args.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace evc {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  EVC_EXPECT(argc >= 1, "argv must contain at least the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    EVC_EXPECT(!body.empty(), "bare '--' is not a valid flag");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--flag value` unless the next token is another flag or missing.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "";  // bare boolean
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& flag) const {
+  return flags_.count(flag) > 0;
+}
+
+std::string ArgParser::get_string(const std::string& flag,
+                                  const std::string& fallback) const {
+  const auto it = flags_.find(flag);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double ArgParser::get_double(const std::string& flag, double fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(it->second, &consumed);
+  } catch (const std::exception&) {
+    EVC_EXPECT(false, "flag --" + flag + " expects a number, got '" +
+                          it->second + "'");
+  }
+  EVC_EXPECT(consumed == it->second.size(),
+             "flag --" + flag + " has trailing garbage: '" + it->second +
+                 "'");
+  return value;
+}
+
+long ArgParser::get_int(const std::string& flag, long fallback) const {
+  const double value = get_double(flag, static_cast<double>(fallback));
+  const long rounded = static_cast<long>(value);
+  EVC_EXPECT(static_cast<double>(rounded) == value,
+             "flag --" + flag + " expects an integer");
+  return rounded;
+}
+
+bool ArgParser::get_bool(const std::string& flag, bool fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1")
+    return true;
+  if (it->second == "false" || it->second == "0") return false;
+  EVC_EXPECT(false, "flag --" + flag + " expects a boolean, got '" +
+                        it->second + "'");
+  return fallback;
+}
+
+void ArgParser::reject_unknown(const std::vector<std::string>& known) const {
+  for (const auto& [flag, _] : flags_) {
+    EVC_EXPECT(std::find(known.begin(), known.end(), flag) != known.end(),
+               "unknown flag --" + flag);
+  }
+}
+
+}  // namespace evc

@@ -1,0 +1,46 @@
+// Minimal command-line argument parser for the example tools.
+//
+// Supports `--flag value`, `--flag=value`, bare boolean `--flag`, and
+// positional arguments. Typed getters with defaults; unknown flags are an
+// error (catches typos in experiment scripts).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace evc {
+
+class ArgParser {
+ public:
+  /// Parses immediately; throws std::invalid_argument on malformed input
+  /// (e.g. `--flag` at the end when a value was expected is treated as a
+  /// boolean).
+  ArgParser(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+  /// Positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& flag) const;
+  /// Typed getters: return `fallback` when the flag is absent; throw
+  /// std::invalid_argument when present but unparsable.
+  std::string get_string(const std::string& flag,
+                         const std::string& fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+  long get_int(const std::string& flag, long fallback) const;
+  bool get_bool(const std::string& flag, bool fallback = false) const;
+
+  /// Throws std::invalid_argument listing any flag not in `known` —
+  /// call after all getters to reject typos.
+  void reject_unknown(const std::vector<std::string>& known) const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;  ///< value "" = bare boolean
+  std::vector<std::string> positional_;
+};
+
+}  // namespace evc

@@ -1,0 +1,34 @@
+#include "util/csv.hpp"
+
+#include <iomanip>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace evc {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : out_(path), columns_(std::move(columns)) {
+  EVC_EXPECT(!columns_.empty(), "CSV needs at least one column");
+  EVC_EXPECT(out_.good(), "cannot open CSV output file: " + path);
+  // Round-trip exact doubles (17 significant digits).
+  out_ << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns_[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  EVC_EXPECT(cells.size() == columns_.size(),
+             "row width does not match header");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace evc

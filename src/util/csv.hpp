@@ -1,0 +1,31 @@
+// Minimal CSV emission for experiment traces.
+//
+// Bench binaries and examples dump time series (cabin temperature, SoC,
+// power draw) as CSV so results can be inspected or re-plotted outside the
+// harness. Writing is row-oriented and append-only.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace evc {
+
+/// Append-only CSV writer. The header is fixed at construction; every row
+/// must carry exactly as many cells as the header has columns.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  void write_row(const std::vector<double>& cells);
+  /// Number of data rows written so far (header excluded).
+  std::size_t rows_written() const { return rows_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  std::ofstream out_;
+  std::vector<std::string> columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace evc

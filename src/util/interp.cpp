@@ -1,0 +1,83 @@
+#include "util/interp.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace evc {
+namespace {
+
+// Index i of the interval [x[i], x[i+1]] containing q, clamped into range.
+std::size_t interval_index(const std::vector<double>& x, double q) {
+  const auto it = std::upper_bound(x.begin(), x.end(), q);
+  if (it == x.begin()) return 0;
+  std::size_t i = static_cast<std::size_t>(it - x.begin()) - 1;
+  return std::min(i, x.size() - 2);
+}
+
+double lerp_fraction(double lo, double hi, double q) {
+  if (q <= lo) return 0.0;
+  if (q >= hi) return 1.0;
+  return (q - lo) / (hi - lo);
+}
+
+void check_grid(const std::vector<double>& x, const char* what) {
+  EVC_EXPECT(x.size() >= 2, std::string(what) + ": grid needs >= 2 knots");
+  for (std::size_t i = 1; i < x.size(); ++i)
+    EVC_EXPECT(x[i] > x[i - 1],
+               std::string(what) + ": grid must be strictly increasing");
+}
+
+}  // namespace
+
+LookupTable1D::LookupTable1D(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  check_grid(x_, "LookupTable1D");
+  EVC_EXPECT(x_.size() == y_.size(), "LookupTable1D: x/y size mismatch");
+}
+
+double LookupTable1D::operator()(double x) const {
+  EVC_EXPECT(!x_.empty(), "LookupTable1D: empty table");
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  const std::size_t i = interval_index(x_, x);
+  const double t = lerp_fraction(x_[i], x_[i + 1], x);
+  return y_[i] + t * (y_[i + 1] - y_[i]);
+}
+
+double LookupTable1D::x_min() const {
+  EVC_EXPECT(!x_.empty(), "LookupTable1D: empty table");
+  return x_.front();
+}
+
+double LookupTable1D::x_max() const {
+  EVC_EXPECT(!x_.empty(), "LookupTable1D: empty table");
+  return x_.back();
+}
+
+LookupTable2D::LookupTable2D(std::vector<double> x, std::vector<double> y,
+                             std::vector<double> z)
+    : x_(std::move(x)), y_(std::move(y)), z_(std::move(z)) {
+  check_grid(x_, "LookupTable2D x");
+  check_grid(y_, "LookupTable2D y");
+  EVC_EXPECT(z_.size() == x_.size() * y_.size(),
+             "LookupTable2D: z must be x.size()*y.size()");
+}
+
+double LookupTable2D::operator()(double x, double y) const {
+  EVC_EXPECT(!x_.empty(), "LookupTable2D: empty table");
+  const std::size_t i = interval_index(x_, x);
+  const std::size_t j = interval_index(y_, y);
+  const double tx = lerp_fraction(x_[i], x_[i + 1], x);
+  const double ty = lerp_fraction(y_[j], y_[j + 1], y);
+  const std::size_t ny = y_.size();
+  const double z00 = z_[i * ny + j];
+  const double z01 = z_[i * ny + j + 1];
+  const double z10 = z_[(i + 1) * ny + j];
+  const double z11 = z_[(i + 1) * ny + j + 1];
+  const double z0 = z00 + ty * (z01 - z00);
+  const double z1 = z10 + ty * (z11 - z10);
+  return z0 + tx * (z1 - z0);
+}
+
+}  // namespace evc

@@ -1,0 +1,47 @@
+// Piecewise-linear lookup tables.
+//
+// Used for drive-cycle speed schedules, motor efficiency maps, and the
+// battery open-circuit-voltage curve. Queries outside the grid clamp to the
+// boundary value (physically: saturation, not extrapolation).
+#pragma once
+
+#include <vector>
+
+namespace evc {
+
+/// y = f(x) on a strictly increasing grid, linear between knots, clamped
+/// outside.
+class LookupTable1D {
+ public:
+  LookupTable1D() = default;
+  LookupTable1D(std::vector<double> x, std::vector<double> y);
+
+  double operator()(double x) const;
+  bool empty() const { return x_.empty(); }
+  std::size_t size() const { return x_.size(); }
+  double x_min() const;
+  double x_max() const;
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+/// z = f(x, y) bilinear on a rectangular grid, clamped outside.
+class LookupTable2D {
+ public:
+  LookupTable2D() = default;
+  /// `z` is row-major with shape [x.size()][y.size()].
+  LookupTable2D(std::vector<double> x, std::vector<double> y,
+                std::vector<double> z);
+
+  double operator()(double x, double y) const;
+  bool empty() const { return x_.empty(); }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> z_;  // row-major [x][y]
+};
+
+}  // namespace evc

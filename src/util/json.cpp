@@ -1,0 +1,133 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <stdexcept>
+
+#include "util/expect.hpp"
+
+namespace evc {
+
+void JsonWriter::comma_if_needed() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key directly
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ << ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ << '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  EVC_EXPECT(!needs_comma_.empty(), "end_object without begin_object");
+  EVC_EXPECT(!pending_key_, "dangling key before end_object");
+  out_ << '}';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ << '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  EVC_EXPECT(!needs_comma_.empty(), "end_array without begin_array");
+  out_ << ']';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  EVC_EXPECT(!needs_comma_.empty(), "key outside an object");
+  EVC_EXPECT(!pending_key_, "two keys in a row");
+  comma_if_needed();
+  out_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  comma_if_needed();
+  out_ << '"' << escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) {
+  return value(std::string(s));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_if_needed();
+  if (!std::isfinite(v)) {
+    out_ << "null";  // JSON has no Inf/NaN
+  } else {
+    out_ << std::setprecision(std::numeric_limits<double>::max_digits10)
+         << v;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long v) {
+  comma_if_needed();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma_if_needed();
+  out_ << (b ? "true" : "false");
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!needs_comma_.empty())
+    throw std::logic_error("JsonWriter: unclosed containers");
+  return out_.str();
+}
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace evc

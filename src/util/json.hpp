@@ -1,0 +1,52 @@
+// Minimal JSON emission (writer only).
+//
+// Experiment results (TripMetrics, comparison tables) export as JSON so
+// external tooling — dashboards, notebooks, regression trackers — can
+// consume bench output without parsing text tables. Writing only: the
+// library never ingests JSON, so no parser is carried.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace evc {
+
+/// Streaming JSON object/array writer with correct escaping and number
+/// formatting. Usage:
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("name").value("NEDC");
+///   json.key("power_kw").value(1.25);
+///   json.end_object();
+///   json.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Key inside an object; must be followed by exactly one value/container.
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);
+  JsonWriter& value(long v);
+  JsonWriter& value(int v) { return value(static_cast<long>(v)); }
+  JsonWriter& value(bool b);
+
+  /// The document so far. Throws std::logic_error if containers are still
+  /// open.
+  std::string str() const;
+
+  static std::string escape(const std::string& raw);
+
+ private:
+  void comma_if_needed();
+  std::ostringstream out_;
+  /// Stack of container states: true = needs a comma before the next item.
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace evc

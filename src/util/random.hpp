@@ -1,0 +1,60 @@
+// Deterministic pseudo-random generation for synthetic routes, weather
+// traces, and property-test fixtures.
+//
+// splitmix64 core: tiny, fast, and — unlike std::default_random_engine —
+// identical across standard libraries, so tests and synthesized workloads
+// reproduce bit-exactly everywhere.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/expect.hpp"
+
+namespace evc {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    EVC_EXPECT(lo <= hi, "uniform: lo > hi");
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Standard normal via Box–Muller (one draw per call, second discarded —
+  /// simplicity over throughput; these paths are not hot).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+ private:
+  std::uint64_t state_;
+};
+
+inline double SplitMix64::normal(double mean, double stddev) {
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - next_double();
+  double u2 = next_double();
+  const double pi = 3.14159265358979323846;
+  double z = [&] {
+    double r = u1;
+    double s = u2;
+    double mag = std::sqrt(-2.0 * std::log(r));
+    return mag * std::cos(2.0 * pi * s);
+  }();
+  return mean + stddev * z;
+}
+
+}  // namespace evc

@@ -1,0 +1,68 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  EVC_EXPECT(n_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  EVC_EXPECT(n_ > 0, "variance of empty accumulator");
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  EVC_EXPECT(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  EVC_EXPECT(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+namespace {
+RunningStats accumulate(const std::vector<double>& xs) {
+  EVC_EXPECT(!xs.empty(), "statistics of empty vector");
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+}  // namespace
+
+double mean_of(const std::vector<double>& xs) { return accumulate(xs).mean(); }
+double stddev_of(const std::vector<double>& xs) {
+  return accumulate(xs).stddev();
+}
+double min_of(const std::vector<double>& xs) { return accumulate(xs).min(); }
+double max_of(const std::vector<double>& xs) { return accumulate(xs).max(); }
+
+double rms_of(const std::vector<double>& xs) {
+  EVC_EXPECT(!xs.empty(), "rms of empty vector");
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace evc

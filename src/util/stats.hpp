@@ -1,0 +1,40 @@
+// Streaming and batch statistics used by the battery SoH model (SoC average
+// and deviation over a discharge cycle) and by the experiment reporters.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace evc {
+
+/// Welford-style running mean/variance accumulator; numerically stable for
+/// long traces.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Population variance (divides by n): the SoH model's SoCdev (Eq. 16)
+  /// is the population standard deviation of the SoC trace.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers for post-hoc trace analysis.
+double mean_of(const std::vector<double>& xs);
+double stddev_of(const std::vector<double>& xs);  // population stddev
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+/// Root-mean-square of a trace.
+double rms_of(const std::vector<double>& xs);
+
+}  // namespace evc

@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace evc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  EVC_EXPECT(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  EVC_EXPECT(cells.size() == header_.size(),
+             "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  out << "\n== " << title << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string TextTable::percent(double v, int precision) {
+  return num(v, precision) + "%";
+}
+
+}  // namespace evc

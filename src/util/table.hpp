@@ -1,0 +1,31 @@
+// Console table printer for the benchmark harness.
+//
+// Each bench binary regenerates one of the paper's tables/figures; the data
+// behind the figure is emitted as an aligned text table so the rows/series
+// can be read directly off the terminal (and diffed between runs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace evc {
+
+/// Fixed-column aligned text table. Cells are strings; numeric helpers
+/// format with a fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column padding, a header underline, and `title` on top.
+  std::string render(const std::string& title) const;
+
+  static std::string num(double v, int precision = 3);
+  static std::string percent(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace evc

@@ -1,0 +1,72 @@
+// Tests for the command-line argument parser.
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+
+namespace evc {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return ArgParser(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, PositionalAndProgram) {
+  const auto args = parse({"prog", "simulate", "extra"});
+  EXPECT_EQ(args.program(), "prog");
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "simulate");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(Args, FlagValueForms) {
+  const auto args = parse({"prog", "--a", "1.5", "--b=2.5", "--c"});
+  EXPECT_TRUE(args.has("a"));
+  EXPECT_DOUBLE_EQ(args.get_double("a", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(args.get_double("b", 0.0), 2.5);
+  EXPECT_TRUE(args.get_bool("c"));
+  EXPECT_FALSE(args.has("d"));
+  EXPECT_DOUBLE_EQ(args.get_double("d", -1.0), -1.0);
+}
+
+TEST(Args, FlagFollowedByFlagIsBoolean) {
+  const auto args = parse({"prog", "--verbose", "--level", "3"});
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_EQ(args.get_int("level", 0), 3);
+}
+
+TEST(Args, TypedGettersValidate) {
+  const auto args = parse({"prog", "--x", "abc", "--n", "2.5", "--f", "maybe"});
+  EXPECT_THROW(args.get_double("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);  // not integral
+  EXPECT_THROW(args.get_bool("f"), std::invalid_argument);
+  EXPECT_EQ(args.get_string("x", ""), "abc");
+}
+
+TEST(Args, BooleanSpellings) {
+  const auto args = parse({"prog", "--t=true", "--o=1", "--f=false", "--z=0"});
+  EXPECT_TRUE(args.get_bool("t"));
+  EXPECT_TRUE(args.get_bool("o"));
+  EXPECT_FALSE(args.get_bool("f"));
+  EXPECT_FALSE(args.get_bool("z"));
+}
+
+TEST(Args, RejectUnknownCatchesTypos) {
+  const auto args = parse({"prog", "--ambiant", "35"});
+  EXPECT_THROW(args.reject_unknown({"ambient", "cycle"}),
+               std::invalid_argument);
+  const auto ok = parse({"prog", "--ambient", "35"});
+  EXPECT_NO_THROW(ok.reject_unknown({"ambient", "cycle"}));
+}
+
+TEST(Args, NegativeNumbersAsValues) {
+  const auto args = parse({"prog", "--ambient", "-10"});
+  EXPECT_DOUBLE_EQ(args.get_double("ambient", 0.0), -10.0);
+}
+
+TEST(Args, BareDoubleDashRejected) {
+  EXPECT_THROW(parse({"prog", "--"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evc

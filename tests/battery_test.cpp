@@ -1,0 +1,224 @@
+// Tests for the Peukert SoC model, SoH degradation model, pack, and BMS.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "battery/bms.hpp"
+#include "util/random.hpp"
+
+namespace evc::bat {
+namespace {
+
+// --- Peukert / SoC ---
+
+TEST(Peukert, NominalCurrentPassesThrough) {
+  PeukertSocModel model(leaf_24kwh_params());
+  const double in = model.params().nominal_current_a;
+  EXPECT_NEAR(model.effective_current(in), in, 1e-9);
+}
+
+TEST(Peukert, HighRateDischargesSuperlinearly) {
+  PeukertSocModel model(leaf_24kwh_params());
+  const double in = model.params().nominal_current_a;
+  EXPECT_GT(model.effective_current(4.0 * in), 4.0 * in);
+  // Below nominal the effective current is *less* than the actual one.
+  EXPECT_LT(model.effective_current(0.25 * in), 0.25 * in);
+}
+
+TEST(Peukert, ChargingBypassesRateCapacity) {
+  PeukertSocModel model(leaf_24kwh_params());
+  EXPECT_DOUBLE_EQ(model.effective_current(-50.0), -50.0);
+  EXPECT_DOUBLE_EQ(model.effective_current(0.0), 0.0);
+}
+
+class PeukertMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeukertMonotonicity, EffectiveCurrentIsIncreasing) {
+  BatteryParams params = leaf_24kwh_params();
+  params.peukert_constant = 1.0 + 0.02 * GetParam();
+  PeukertSocModel model(params);
+  double prev = 0.0;
+  for (double i = 1.0; i < 200.0; i += 7.0) {
+    const double eff = model.effective_current(i);
+    EXPECT_GT(eff, prev);
+    prev = eff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PeukertConstants, PeukertMonotonicity,
+                         ::testing::Range(0, 10));
+
+TEST(SocModel, CurrentForPowerInvertsPowerEquation) {
+  PeukertSocModel model(leaf_24kwh_params());
+  const double ocv = 380.0;
+  for (double p : {-20e3, -5e3, 0.0, 5e3, 30e3, 80e3}) {
+    const double i = model.current_for_power(p, ocv);
+    const double v = ocv - i * model.params().internal_resistance_ohm;
+    EXPECT_NEAR(v * i, p, 1e-6) << "power " << p;
+  }
+}
+
+TEST(SocModel, RejectsImpossiblePower) {
+  PeukertSocModel model(leaf_24kwh_params());
+  // Deliverable max is Voc²/4R = 380²/0.4 = 361 kW.
+  EXPECT_THROW(model.current_for_power(400e3, 380.0), std::invalid_argument);
+}
+
+TEST(SocModel, SocDeltaMatchesCoulombCounting) {
+  PeukertSocModel model(leaf_24kwh_params());
+  const double in = model.params().nominal_current_a;
+  // At exactly the nominal current, one hour drains In·3600 C.
+  const double expected =
+      -100.0 * in * 3600.0 / (model.params().nominal_capacity_ah * 3600.0);
+  EXPECT_NEAR(model.soc_delta(in, 3600.0), expected, 1e-9);
+}
+
+// --- SoH ---
+
+TEST(SohModel, DeviationIncreasesFade) {
+  SohModel model(leaf_24kwh_params());
+  CycleStress mild{1.0, 85.0};
+  CycleStress harsh{3.0, 85.0};
+  EXPECT_GT(model.delta_soh(harsh), model.delta_soh(mild));
+}
+
+TEST(SohModel, HighAverageSocIncreasesFade) {
+  SohModel model(leaf_24kwh_params());
+  CycleStress low{1.5, 60.0};
+  CycleStress high{1.5, 95.0};
+  EXPECT_GT(model.delta_soh(high), model.delta_soh(low));
+}
+
+TEST(SohModel, FadePerCycleIsRealisticForLiIon) {
+  // A standard commute cycle should land in the 1e-3…1e-1 %/cycle band —
+  // thousands, not tens or millions, of cycles to end of life.
+  SohModel model(leaf_24kwh_params());
+  const double fade = model.delta_soh(CycleStress{1.5, 87.0});
+  EXPECT_GT(fade, 1e-4);
+  EXPECT_LT(fade, 1e-1);
+  const double cycles = model.cycles_to_end_of_life(fade);
+  EXPECT_GT(cycles, 200.0);
+  EXPECT_LT(cycles, 200000.0);
+}
+
+TEST(SohModel, StressOfLinearRampMatchesAnalytic) {
+  // SoC falling linearly 90→80: mean 85, population stddev = span/√12 ≈ 2.89.
+  SohModel model(leaf_24kwh_params());
+  std::vector<double> trace;
+  for (int i = 0; i <= 1000; ++i) trace.push_back(90.0 - 0.01 * i);
+  const CycleStress s = model.stress_of_trace(trace);
+  EXPECT_NEAR(s.soc_average, 85.0, 1e-9);
+  EXPECT_NEAR(s.soc_deviation, 10.0 / std::sqrt(12.0), 0.01);
+}
+
+TEST(SohModel, RejectsDegenerateInputs) {
+  SohModel model(leaf_24kwh_params());
+  EXPECT_THROW(model.stress_of_trace({50.0}), std::invalid_argument);
+  EXPECT_THROW(model.cycles_to_end_of_life(0.0), std::invalid_argument);
+  EXPECT_THROW(model.delta_soh(CycleStress{-1.0, 50.0}),
+               std::invalid_argument);
+}
+
+// --- Pack ---
+
+TEST(BatteryPack, DischargeLowersSocChargeRaisesIt) {
+  BatteryPack pack(leaf_24kwh_params(), 70.0);
+  pack.step(10e3, 60.0);
+  const double after_discharge = pack.soc_percent();
+  EXPECT_LT(after_discharge, 70.0);
+  pack.step(-10e3, 60.0);
+  EXPECT_GT(pack.soc_percent(), after_discharge);
+}
+
+TEST(BatteryPack, TerminalVoltageSagsUnderLoad) {
+  BatteryPack pack(leaf_24kwh_params(), 80.0);
+  const PackStep s = pack.step(40e3, 1.0);
+  EXPECT_LT(s.terminal_voltage_v, pack.open_circuit_voltage());
+  EXPECT_GT(s.current_a, 100.0);  // ~40 kW / ~390 V
+}
+
+TEST(BatteryPack, SocSaturatesAndFlagsDepletion) {
+  BatteryPack pack(leaf_24kwh_params(), 0.5);
+  for (int i = 0; i < 100; ++i) pack.step(20e3, 60.0);
+  EXPECT_DOUBLE_EQ(pack.soc_percent(), 0.0);
+  EXPECT_TRUE(pack.depleted());
+}
+
+TEST(BatteryPack, EnergyBookkeepingIsConsistent) {
+  BatteryPack pack(leaf_24kwh_params(), 100.0);
+  const double e_full = pack.remaining_energy_j();
+  // 24 kWh class pack.
+  EXPECT_NEAR(e_full / 3.6e6, 23.8, 1.0);
+  pack.reset(50.0);
+  EXPECT_NEAR(pack.remaining_energy_j(), e_full / 2.0, 1e-6);
+}
+
+TEST(BatteryPack, RejectsBadInitialSoc) {
+  EXPECT_THROW(BatteryPack(leaf_24kwh_params(), 101.0),
+               std::invalid_argument);
+  BatteryPack pack(leaf_24kwh_params(), 50.0);
+  EXPECT_THROW(pack.step(1000.0, 0.0), std::invalid_argument);
+}
+
+// --- BMS ---
+
+TEST(Bms, ServesRequestedPowerInNormalRange) {
+  Bms bms(leaf_24kwh_params(), BmsLimits{}, 80.0);
+  EXPECT_DOUBLE_EQ(bms.apply_power(15e3, 1.0), 15e3);
+  EXPECT_FALSE(bms.protection_engaged());
+}
+
+TEST(Bms, BlocksDischargeBelowFloor) {
+  BmsLimits limits;
+  limits.min_soc_percent = 79.0;
+  Bms bms(leaf_24kwh_params(), limits, 79.0);
+  EXPECT_DOUBLE_EQ(bms.apply_power(10e3, 1.0), 0.0);
+  EXPECT_TRUE(bms.protection_engaged());
+}
+
+TEST(Bms, CutsRegenAboveCeiling) {
+  BmsLimits limits;
+  limits.max_soc_percent = 90.0;
+  Bms bms(leaf_24kwh_params(), limits, 90.0);
+  EXPECT_DOUBLE_EQ(bms.apply_power(-10e3, 1.0), 0.0);
+  EXPECT_TRUE(bms.protection_engaged());
+}
+
+TEST(Bms, DeratesToPowerLimits) {
+  BmsLimits limits;
+  limits.max_discharge_power_w = 20e3;
+  Bms bms(leaf_24kwh_params(), limits, 80.0);
+  EXPECT_DOUBLE_EQ(bms.apply_power(50e3, 1.0), 20e3);
+  EXPECT_TRUE(bms.protection_engaged());
+}
+
+TEST(Bms, TracksCycleStressOverTrace) {
+  Bms bms(leaf_24kwh_params(), BmsLimits{}, 90.0);
+  for (int i = 0; i < 600; ++i) bms.apply_power(12e3, 1.0);
+  EXPECT_EQ(bms.soc_trace().size(), 601u);
+  const CycleStress stress = bms.cycle_stress();
+  EXPECT_GT(stress.soc_deviation, 0.0);
+  EXPECT_LT(stress.soc_average, 90.0);
+  EXPECT_GT(bms.cycle_delta_soh(), 0.0);
+  // Restarting the cycle clears the trace.
+  bms.start_cycle(85.0);
+  EXPECT_EQ(bms.soc_trace().size(), 1u);
+  EXPECT_FALSE(bms.protection_engaged());
+}
+
+TEST(Bms, FlatterLoadGivesLowerFade) {
+  // The core premise of the paper: for the same delivered energy, a flat
+  // power profile stresses the battery less than a spiky one.
+  const auto run = [](const std::vector<double>& load) {
+    Bms bms(leaf_24kwh_params(), BmsLimits{}, 90.0);
+    for (double p : load) bms.apply_power(p, 1.0);
+    return bms.cycle_delta_soh();
+  };
+  std::vector<double> flat(1200, 10e3);
+  std::vector<double> spiky;
+  for (int i = 0; i < 1200; ++i) spiky.push_back(i % 2 ? 20e3 : 0.0);
+  EXPECT_LT(run(flat), run(spiky));
+}
+
+}  // namespace
+}  // namespace evc::bat

@@ -1,0 +1,258 @@
+// Tests for the baseline controllers: On/Off hysteresis, PID substrate,
+// fuzzy engine, and the fuzzy climate controller.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/fuzzy_controller.hpp"
+#include "control/onoff_controller.hpp"
+#include "control/pid.hpp"
+#include "hvac/hvac_plant.hpp"
+
+namespace evc::ctl {
+namespace {
+
+ControlContext make_context(double tz, double to) {
+  ControlContext c;
+  c.cabin_temp_c = tz;
+  c.outside_temp_c = to;
+  return c;
+}
+
+// --- On/Off ---
+
+TEST(OnOff, EngagesCoolingAboveDeadband) {
+  OnOffController ctl(hvac::default_hvac_params());
+  const auto in = ctl.decide(make_context(27.0, 35.0));  // target 24, db 1.5
+  EXPECT_NEAR(in.coil_temp_c, hvac::default_hvac_params().min_coil_temp_c,
+              1e-9);
+  EXPECT_NEAR(in.air_flow_kg_s,
+              hvac::default_hvac_params().max_air_flow_kg_s, 1e-9);
+}
+
+TEST(OnOff, EngagesHeatingBelowDeadband) {
+  OnOffController ctl(hvac::default_hvac_params());
+  const auto in = ctl.decide(make_context(21.0, 0.0));
+  EXPECT_NEAR(in.supply_temp_c,
+              hvac::default_hvac_params().max_supply_temp_c, 1e-9);
+}
+
+TEST(OnOff, StaysIdleInsideDeadband) {
+  OnOffController ctl(hvac::default_hvac_params());
+  const auto in = ctl.decide(make_context(24.5, 35.0));
+  // Coils pass-through: supply equals mixed air temperature.
+  const double tm = 0.5 * 35.0 + 0.5 * 24.5;
+  EXPECT_NEAR(in.supply_temp_c, tm, 1e-9);
+  EXPECT_NEAR(in.coil_temp_c, tm, 1e-9);
+}
+
+TEST(OnOff, HysteresisHoldsUntilTargetCrossed) {
+  OnOffController ctl(hvac::default_hvac_params());
+  ctl.decide(make_context(27.0, 35.0));  // engage cooling
+  // Still above target → keeps cooling even though inside the deadband.
+  const auto in = ctl.decide(make_context(24.8, 35.0));
+  EXPECT_NEAR(in.coil_temp_c, hvac::default_hvac_params().min_coil_temp_c,
+              1e-9);
+  // Crossed the target → off.
+  const auto off = ctl.decide(make_context(23.9, 35.0));
+  EXPECT_GT(off.coil_temp_c, 20.0);
+}
+
+TEST(OnOff, ResetClearsMode) {
+  OnOffController ctl(hvac::default_hvac_params());
+  ctl.decide(make_context(28.0, 35.0));
+  ctl.reset();
+  const auto in = ctl.decide(make_context(24.5, 35.0));  // inside deadband
+  EXPECT_GT(in.coil_temp_c, 20.0);  // idle, not cooling
+}
+
+TEST(OnOff, ClosedLoopOscillatesAroundTarget) {
+  const hvac::HvacParams params = hvac::default_hvac_params();
+  OnOffController ctl(params);
+  hvac::HvacPlant plant(params, 29.0);
+  double min_tz = 1e9, max_tz = -1e9;
+  for (int t = 0; t < 1200; ++t) {
+    ControlContext c = make_context(plant.cabin_temp_c(), 35.0);
+    const auto r = plant.step(ctl.decide(c), 35.0, 1.0);
+    if (t > 400) {  // after the initial pull-down
+      min_tz = std::min(min_tz, r.cabin_temp_c);
+      max_tz = std::max(max_tz, r.cabin_temp_c);
+    }
+  }
+  // Limit cycle straddles the target with a width of order the deadband.
+  EXPECT_LT(min_tz, params.target_temp_c);
+  EXPECT_GT(max_tz, params.target_temp_c);
+  EXPECT_GT(max_tz - min_tz, 0.5);
+  EXPECT_LT(max_tz - min_tz, 6.0);
+}
+
+// --- PID ---
+
+TEST(Pid, ProportionalOnly) {
+  Pid pid(PidGains{2.0, 0.0, 0.0, -10.0, 10.0});
+  EXPECT_DOUBLE_EQ(pid.update(1.5, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(pid.update(-2.0, 1.0), -4.0);
+}
+
+TEST(Pid, IntegralAccumulates) {
+  Pid pid(PidGains{0.0, 1.0, 0.0, -10.0, 10.0});
+  pid.update(1.0, 1.0);
+  pid.update(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(pid.update(0.0, 1.0), 2.0);  // ∫e = 2 after two steps
+}
+
+TEST(Pid, DerivativeActsOnErrorChange) {
+  Pid pid(PidGains{0.0, 0.0, 1.0, -10.0, 10.0});
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 1.0), 0.0);  // no previous sample
+  EXPECT_DOUBLE_EQ(pid.update(3.0, 1.0), 2.0);
+}
+
+TEST(Pid, AntiWindupFreezesIntegralWhenSaturated) {
+  Pid pid(PidGains{0.0, 1.0, 0.0, -1.0, 1.0});
+  for (int i = 0; i < 100; ++i) pid.update(1.0, 1.0);
+  // Without anti-windup the integral would be ~100; it must stay ~2
+  // (conditional integration engages once the output pins).
+  EXPECT_LT(pid.integral(), 2.5);
+  // And recovery after the error flips takes a few steps, not ~100.
+  int steps = 0;
+  while (pid.update(-1.0, 1.0) >= 1.0) {
+    ASSERT_LT(++steps, 6) << "integral did not unwind promptly";
+  }
+}
+
+TEST(Pid, ResetClearsState) {
+  Pid pid(PidGains{1.0, 1.0, 1.0, -10.0, 10.0});
+  pid.update(2.0, 1.0);
+  pid.reset();
+  EXPECT_DOUBLE_EQ(pid.integral(), 0.0);
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 1.0), 1.0);  // P only, no D kick
+}
+
+TEST(Pid, RejectsBadConfig) {
+  EXPECT_THROW(Pid(PidGains{1, 0, 0, 1.0, -1.0}), std::invalid_argument);
+  Pid pid(PidGains{});
+  EXPECT_THROW(pid.update(1.0, 0.0), std::invalid_argument);
+}
+
+// --- Fuzzy engine ---
+
+TEST(FuzzyEngine, MembershipGrades) {
+  const auto tri = MembershipFunction::triangle("ZE", -1.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(tri.grade(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(tri.grade(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(tri.grade(-0.5), 0.5);
+  EXPECT_DOUBLE_EQ(tri.grade(2.0), 0.0);
+  const MembershipFunction trap("T", 0.0, 1.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(trap.grade(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(trap.grade(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(trap.grade(2.5), 0.5);
+}
+
+TEST(FuzzyEngine, RejectsUnorderedBreakpoints) {
+  EXPECT_THROW(MembershipFunction("bad", 1.0, 0.0, 2.0, 3.0),
+               std::invalid_argument);
+}
+
+TEST(FuzzyEngine, SingleRulePassesThrough) {
+  // One rule "IF x is LOW THEN y is LOW" with symmetric sets: at full LOW
+  // membership the output centroid sits inside the LOW set.
+  std::vector<MembershipFunction> sets{
+      MembershipFunction("LOW", -1.0, -1.0, -1.0, 0.0),
+      MembershipFunction("HIGH", 0.0, 1.0, 1.0, 1.0)};
+  FuzzyInference inf({LinguisticVariable("x", sets)},
+                     LinguisticVariable("y", sets),
+                     {FuzzyRule{{0}, 0}, FuzzyRule{{1}, 1}});
+  EXPECT_LT(inf.infer({-1.0}), -0.4);
+  EXPECT_GT(inf.infer({1.0}), 0.4);
+  EXPECT_NEAR(inf.infer({0.0}), 0.0, 0.15);
+}
+
+TEST(FuzzyEngine, ValidatesRuleArity) {
+  std::vector<MembershipFunction> sets{
+      MembershipFunction::triangle("A", -1, 0, 1)};
+  EXPECT_THROW(FuzzyInference({LinguisticVariable("x", sets)},
+                              LinguisticVariable("y", sets),
+                              {FuzzyRule{{0, 0}, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(FuzzyInference({LinguisticVariable("x", sets)},
+                              LinguisticVariable("y", sets),
+                              {FuzzyRule{{0}, 5}}),
+               std::invalid_argument);
+}
+
+// --- Fuzzy controller ---
+
+TEST(FuzzyController, CommandSignFollowsError) {
+  FuzzyController ctl(hvac::default_hvac_params());
+  // Hot cabin → cooling command (negative); cold → heating (positive).
+  EXPECT_LT(ctl.command(2.5, 0.0), -0.4);
+  EXPECT_GT(ctl.command(-2.5, 0.0), 0.4);
+  EXPECT_NEAR(ctl.command(0.0, 0.0), 0.0, 0.1);
+}
+
+TEST(FuzzyController, DerivativeDampens) {
+  FuzzyController ctl(hvac::default_hvac_params());
+  // Same error, but already falling fast → milder cooling.
+  EXPECT_GT(ctl.command(1.5, -0.1), ctl.command(1.5, 0.1));
+}
+
+TEST(FuzzyController, FlowScalesWithDemand) {
+  FuzzyController ctl(hvac::default_hvac_params());
+  const auto small = ctl.decide(make_context(24.3, 30.0));
+  ctl.reset();
+  const auto large = ctl.decide(make_context(29.0, 35.0));
+  EXPECT_GT(large.air_flow_kg_s, small.air_flow_kg_s);
+}
+
+TEST(FuzzyController, ClosedLoopSettlesOnTarget) {
+  const hvac::HvacParams params = hvac::default_hvac_params();
+  FuzzyController ctl(params);
+  hvac::HvacPlant plant(params, 30.0);
+  ControlContext c;
+  c.dt_s = 1.0;
+  for (int t = 0; t < 2000; ++t) {
+    c.cabin_temp_c = plant.cabin_temp_c();
+    c.outside_temp_c = 38.0;
+    plant.step(ctl.decide(c), 38.0, 1.0);
+  }
+  // Integral trim must remove the steady-state offset.
+  EXPECT_NEAR(plant.cabin_temp_c(), params.target_temp_c, 0.4);
+}
+
+TEST(FuzzyController, ClosedLoopSettlesWhenHeating) {
+  // 0 °C is the paper's coldest Table I point; colder than about −2 °C the
+  // heater power cap (C8) makes the target unreachable at dr = 0.5, which
+  // is exactly the regime where the MPC's recirculation advantage shows.
+  const hvac::HvacParams params = hvac::default_hvac_params();
+  FuzzyController ctl(params);
+  hvac::HvacPlant plant(params, 18.0);
+  ControlContext c;
+  c.dt_s = 1.0;
+  for (int t = 0; t < 2000; ++t) {
+    c.cabin_temp_c = plant.cabin_temp_c();
+    c.outside_temp_c = 0.0;
+    plant.step(ctl.decide(c), 0.0, 1.0);
+  }
+  EXPECT_NEAR(plant.cabin_temp_c(), params.target_temp_c, 0.4);
+}
+
+TEST(FuzzyController, HeaterCapSaturatesInExtremeCold) {
+  // Below the reachable envelope the controller pins the heater at its cap
+  // and the cabin settles at the physical limit, short of the target.
+  const hvac::HvacParams params = hvac::default_hvac_params();
+  FuzzyController ctl(params);
+  hvac::HvacPlant plant(params, 18.0);
+  ControlContext c;
+  c.dt_s = 1.0;
+  hvac::HvacStepResult last;
+  for (int t = 0; t < 2000; ++t) {
+    c.cabin_temp_c = plant.cabin_temp_c();
+    c.outside_temp_c = -10.0;
+    last = plant.step(ctl.decide(c), -10.0, 1.0);
+  }
+  EXPECT_LT(plant.cabin_temp_c(), params.target_temp_c - 1.0);
+  EXPECT_NEAR(last.power.heater_w, params.max_heater_power_w, 100.0);
+}
+
+}  // namespace
+}  // namespace evc::ctl

@@ -1,0 +1,199 @@
+// Tests for drive profiles, standard cycles, and the synthetic route
+// generator. The parameterized suite checks every cycle against its
+// published reference statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "drivecycle/drive_profile.hpp"
+#include "drivecycle/route_synth.hpp"
+#include "drivecycle/standard_cycles.hpp"
+#include "util/units.hpp"
+
+namespace evc::drive {
+namespace {
+
+TEST(DriveProfile, BasicAccessors) {
+  std::vector<DriveSample> samples(10);
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    samples[i].speed_mps = static_cast<double>(i);
+  DriveProfile p("test", 2.0, samples);
+  EXPECT_EQ(p.size(), 10u);
+  EXPECT_DOUBLE_EQ(p.duration(), 20.0);
+  EXPECT_DOUBLE_EQ(p.max_speed_mps(), 9.0);
+  EXPECT_DOUBLE_EQ(p.average_speed_mps(), 4.5);
+  // Trapezoidal distance of a linear ramp 0..9 m/s over 9 intervals × 2 s.
+  EXPECT_NEAR(p.total_distance_m(), 81.0, 1e-12);
+}
+
+TEST(DriveProfile, ClampedIndexing) {
+  std::vector<DriveSample> samples(3);
+  samples[2].speed_mps = 7.0;
+  DriveProfile p("test", 1.0, samples);
+  EXPECT_DOUBLE_EQ(p.clamped(2).speed_mps, 7.0);
+  EXPECT_DOUBLE_EQ(p.clamped(99).speed_mps, 7.0);
+}
+
+TEST(DriveProfile, WindowClampsAtEnd) {
+  std::vector<DriveSample> samples(5);
+  DriveProfile p("test", 1.0, samples);
+  EXPECT_EQ(p.window(3, 10).size(), 2u);
+  EXPECT_EQ(p.window(0, 3).size(), 3u);
+}
+
+TEST(DriveProfile, RejectsInvalidData) {
+  std::vector<DriveSample> bad(2);
+  bad[1].speed_mps = -1.0;
+  EXPECT_THROW(DriveProfile("bad", 1.0, bad), std::invalid_argument);
+  std::vector<DriveSample> ok(2);
+  EXPECT_THROW(DriveProfile("bad", 0.0, ok), std::invalid_argument);
+  std::vector<DriveSample> hot(2);
+  hot[0].ambient_c = 200.0;
+  EXPECT_THROW(DriveProfile("bad", 1.0, hot), std::invalid_argument);
+}
+
+// --- Standard cycles vs published statistics ---
+
+class CycleReferenceCheck : public ::testing::TestWithParam<StandardCycle> {};
+
+TEST_P(CycleReferenceCheck, MatchesPublishedStatistics) {
+  const StandardCycle cycle = GetParam();
+  const CycleReference ref = cycle_reference(cycle);
+  const DriveProfile p = make_cycle_profile(cycle, 25.0);
+
+  EXPECT_NEAR(p.duration(), ref.duration_s, 1.5) << cycle_name(cycle);
+  EXPECT_NEAR(p.total_distance_m() / 1000.0, ref.distance_km,
+              0.10 * ref.distance_km)
+      << cycle_name(cycle);
+  EXPECT_NEAR(units::mps_to_kmh(p.max_speed_mps()), ref.max_speed_kmh,
+              0.02 * ref.max_speed_kmh)
+      << cycle_name(cycle);
+}
+
+TEST_P(CycleReferenceCheck, StartsAndEndsAtRest) {
+  const DriveProfile p = make_cycle_profile(GetParam(), 25.0);
+  EXPECT_DOUBLE_EQ(p[0].speed_mps, 0.0);
+  // Final sample may sit mid-way through the last deceleration ramp.
+  EXPECT_LT(p[p.size() - 1].speed_mps, 1.0);
+}
+
+TEST_P(CycleReferenceCheck, AccelerationIsPlausible) {
+  // Standard cycles never exceed ~4 m/s² (even US06's aggressive launches).
+  const DriveProfile p = make_cycle_profile(GetParam(), 25.0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_LT(std::abs(p[i].accel_mps2), 4.0)
+        << cycle_name(GetParam()) << " sample " << i;
+  }
+}
+
+TEST_P(CycleReferenceCheck, AmbientAndSlopeChannels) {
+  const DriveProfile p = make_cycle_profile(GetParam(), 37.5);
+  for (std::size_t i = 0; i < p.size(); i += 50) {
+    EXPECT_DOUBLE_EQ(p[i].ambient_c, 37.5);
+    EXPECT_DOUBLE_EQ(p[i].slope_percent, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCycles, CycleReferenceCheck,
+                         ::testing::ValuesIn(all_standard_cycles()),
+                         [](const auto& suite_info) {
+                           return cycle_name(suite_info.param);
+                         });
+
+TEST(StandardCycles, NedcIsFourEceRepetitionsPlusEudc) {
+  const DriveProfile p = make_cycle_profile(StandardCycle::kNedc, 25.0);
+  // The urban part repeats with period 195 s.
+  for (std::size_t i = 0; i < 195; i += 7) {
+    EXPECT_NEAR(p[i].speed_mps, p[i + 195].speed_mps, 1e-9);
+    EXPECT_NEAR(p[i].speed_mps, p[i + 3 * 195].speed_mps, 1e-9);
+  }
+  // The extra-urban part reaches 120 km/h, the urban part only 50.
+  EXPECT_NEAR(units::mps_to_kmh(p.max_speed_mps()), 120.0, 0.5);
+}
+
+TEST(StandardCycles, EceEudcIsSpeedCappedNedc) {
+  const DriveProfile nedc = make_cycle_profile(StandardCycle::kNedc, 25.0);
+  const DriveProfile low = make_cycle_profile(StandardCycle::kEceEudc, 25.0);
+  EXPECT_EQ(nedc.size(), low.size());
+  EXPECT_LT(low.max_speed_mps(), nedc.max_speed_mps());
+  // Urban parts are identical.
+  for (std::size_t i = 0; i < 780; i += 13)
+    EXPECT_NEAR(nedc[i].speed_mps, low[i].speed_mps, 1e-9);
+}
+
+TEST(StandardCycles, CustomSamplePeriod) {
+  const DriveProfile coarse =
+      make_cycle_profile(StandardCycle::kUdds, 25.0, 5.0);
+  const DriveProfile fine = make_cycle_profile(StandardCycle::kUdds, 25.0);
+  EXPECT_NEAR(coarse.duration(), fine.duration(), 5.0);
+  EXPECT_NEAR(coarse.total_distance_m(), fine.total_distance_m(),
+              0.02 * fine.total_distance_m());
+}
+
+// --- Synthetic routes ---
+
+TEST(RouteSynth, DeterministicInSeed) {
+  RouteSynthOptions opts;
+  opts.seed = 99;
+  const DriveProfile a = synthesize_route(opts);
+  const DriveProfile b = synthesize_route(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 17) {
+    EXPECT_DOUBLE_EQ(a[i].speed_mps, b[i].speed_mps);
+    EXPECT_DOUBLE_EQ(a[i].slope_percent, b[i].slope_percent);
+    EXPECT_DOUBLE_EQ(a[i].ambient_c, b[i].ambient_c);
+  }
+}
+
+TEST(RouteSynth, DifferentSeedsDiffer) {
+  RouteSynthOptions a_opts, b_opts;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  const DriveProfile a = synthesize_route(a_opts);
+  const DriveProfile b = synthesize_route(b_opts);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i)
+    diff += std::abs(a[i].speed_mps - b[i].speed_mps);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(RouteSynth, RespectsDurationAndBounds) {
+  RouteSynthOptions opts;
+  opts.trip_duration_s = 900.0;
+  opts.hilliness_percent = 3.0;
+  const DriveProfile p = synthesize_route(opts);
+  EXPECT_NEAR(p.duration(), 900.0, 120.0);  // segments granularity
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GE(p[i].speed_mps, 0.0);
+    EXPECT_LE(std::abs(p[i].slope_percent), 3.0 + 1e-9);
+  }
+}
+
+TEST(RouteSynth, UrbanOnlyStaysSlow) {
+  RouteSynthOptions opts;
+  opts.urban_fraction = 1.0;
+  opts.urban_speed_kmh = 40.0;
+  const DriveProfile p = synthesize_route(opts);
+  EXPECT_LT(units::mps_to_kmh(p.max_speed_mps()), 90.0);
+}
+
+TEST(RouteSynth, AmbientTracksBaseTemperature) {
+  RouteSynthOptions opts;
+  opts.base_ambient_c = 31.0;
+  opts.ambient_drift_c = 2.0;
+  const DriveProfile p = synthesize_route(opts);
+  for (std::size_t i = 0; i < p.size(); i += 23)
+    EXPECT_NEAR(p[i].ambient_c, 31.0, 4.0);
+}
+
+TEST(RouteSynth, RejectsBadOptions) {
+  RouteSynthOptions opts;
+  opts.trip_duration_s = 10.0;
+  EXPECT_THROW(synthesize_route(opts), std::invalid_argument);
+  opts = RouteSynthOptions{};
+  opts.urban_fraction = 1.5;
+  EXPECT_THROW(synthesize_route(opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evc::drive

@@ -1,0 +1,138 @@
+// Tests for the psychrometric primitives and the cabin moisture balance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hvac/humidity.hpp"
+
+namespace evc::hvac {
+namespace {
+
+TEST(Psychrometrics, SaturationPressureAnchors) {
+  // Well-known anchor points: ~611 Pa at 0 °C, ~2339 Pa at 20 °C,
+  // ~4246 Pa at 30 °C (±2 %).
+  EXPECT_NEAR(saturation_pressure_pa(0.0), 611.0, 15.0);
+  EXPECT_NEAR(saturation_pressure_pa(20.0), 2339.0, 50.0);
+  EXPECT_NEAR(saturation_pressure_pa(30.0), 4246.0, 90.0);
+}
+
+TEST(Psychrometrics, SaturationPressureIsIncreasing) {
+  double prev = 0.0;
+  for (double t = -30.0; t <= 50.0; t += 5.0) {
+    const double p = saturation_pressure_pa(t);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Psychrometrics, HumidityRatioRoundTrip) {
+  for (double t : {5.0, 20.0, 35.0}) {
+    for (double rh : {0.2, 0.5, 0.9}) {
+      const double w = humidity_ratio(t, rh);
+      EXPECT_NEAR(relative_humidity(t, w), rh, 1e-10);
+    }
+  }
+}
+
+TEST(Psychrometrics, TypicalSummerHumidityRatio) {
+  // 30 °C at 50 % RH is ~13.3 g/kg — a standard psychrometric chart point.
+  EXPECT_NEAR(humidity_ratio(30.0, 0.5) * 1000.0, 13.3, 0.5);
+}
+
+TEST(Psychrometrics, DewPointInvertsSaturation) {
+  for (double t : {5.0, 18.0, 30.0}) {
+    const double w = humidity_ratio(t, 1.0);  // saturated at t
+    EXPECT_NEAR(dew_point_c(w), t, 1e-6);
+  }
+  // Subsaturated air has a dew point below its temperature.
+  EXPECT_LT(dew_point_c(humidity_ratio(25.0, 0.4)), 25.0);
+}
+
+TEST(Psychrometrics, EnthalpyAndEquivalentTemperature) {
+  // Dry air: equivalent temperature equals the actual temperature.
+  EXPECT_NEAR(equivalent_dry_air_temp(24.0, 0.0), 24.0, 1e-12);
+  // Moist air carries latent enthalpy → equivalent temperature is higher.
+  const double w = humidity_ratio(24.0, 0.6);
+  EXPECT_GT(equivalent_dry_air_temp(24.0, w), 24.0 + 5.0);
+  // Enthalpy is increasing in both arguments.
+  EXPECT_GT(moist_enthalpy(25.0, 0.01), moist_enthalpy(24.0, 0.01));
+  EXPECT_GT(moist_enthalpy(24.0, 0.012), moist_enthalpy(24.0, 0.01));
+}
+
+TEST(Psychrometrics, InputValidation) {
+  EXPECT_THROW(humidity_ratio(20.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(humidity_ratio(20.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(saturation_pressure_pa(200.0), std::invalid_argument);
+  EXPECT_THROW(dew_point_c(0.0), std::invalid_argument);
+}
+
+// --- Cabin moisture balance ---
+
+TEST(CabinMoisture, OccupantsHumidifySealedCabin) {
+  MoistureParams p;
+  p.occupants = 4;
+  CabinMoistureModel cabin(p, humidity_ratio(24.0, 0.4));
+  const double w0 = cabin.humidity_ratio();
+  // Full recirculation, warm coil (no condensation): only people add vapor.
+  MoistureStep last;
+  for (int t = 0; t < 600; ++t)
+    last = cabin.step(0.1, 1.0, 30.0, 0.012, 20.0, 24.0, 1.0);
+  EXPECT_GT(cabin.humidity_ratio(), w0);
+  EXPECT_NEAR(last.condensate_kg_s, 0.0, 1e-12);
+}
+
+TEST(CabinMoisture, ColdCoilDehumidifies) {
+  CabinMoistureModel cabin(MoistureParams{}, humidity_ratio(28.0, 0.7));
+  // Humid outside air over a 5 °C coil: outlet saturates at the coil.
+  MoistureStep last;
+  for (int t = 0; t < 900; ++t)
+    last = cabin.step(0.15, 0.5, 32.0, humidity_ratio(32.0, 0.6), 5.0, 24.0,
+                      1.0);
+  EXPECT_GT(last.condensate_kg_s, 0.0);
+  EXPECT_GT(last.latent_coil_load_w, 100.0);  // latent load is significant
+  // Cabin settles near the coil's saturation ratio (plus occupant vapor).
+  EXPECT_LT(cabin.humidity_ratio(), humidity_ratio(32.0, 0.6));
+}
+
+TEST(CabinMoisture, LatentLoadMatchesCondensateEnthalpy) {
+  CabinMoistureModel cabin(MoistureParams{}, 0.010);
+  const MoistureStep s =
+      cabin.step(0.2, 0.0, 35.0, humidity_ratio(35.0, 0.7), 6.0, 24.0, 1.0);
+  EXPECT_NEAR(s.latent_coil_load_w, s.condensate_kg_s * kLatentHeatJPerKg,
+              1e-9);
+}
+
+TEST(CabinMoisture, VentilationDriesTowardOutsideAir) {
+  // Dry outside air, no condensation: cabin humidity converges to outside.
+  MoistureParams p;
+  p.occupants = 0;
+  CabinMoistureModel cabin(p, 0.015);
+  const double w_out = 0.004;
+  for (int t = 0; t < 1800; ++t)
+    cabin.step(0.2, 0.0, 10.0, w_out, 20.0, 24.0, 1.0);
+  EXPECT_NEAR(cabin.humidity_ratio(), w_out, 5e-4);
+}
+
+TEST(CabinMoisture, RelativeHumidityTracksTemperature) {
+  // Same moisture content reads as higher RH in a colder cabin.
+  CabinMoistureModel cabin(MoistureParams{}, 0.010);
+  const MoistureStep cold =
+      cabin.step(0.02, 1.0, 20.0, 0.010, 25.0, 18.0, 1.0);
+  CabinMoistureModel cabin2(MoistureParams{}, 0.010);
+  const MoistureStep warm =
+      cabin2.step(0.02, 1.0, 20.0, 0.010, 25.0, 28.0, 1.0);
+  EXPECT_GT(cold.cabin_relative_humidity, warm.cabin_relative_humidity);
+}
+
+TEST(CabinMoisture, RejectsBadInputs) {
+  CabinMoistureModel cabin(MoistureParams{}, 0.01);
+  EXPECT_THROW(cabin.step(-0.1, 0.5, 20, 0.01, 10, 24, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(cabin.step(0.1, 1.5, 20, 0.01, 10, 24, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(CabinMoistureModel(MoistureParams{}, 0.2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evc::hvac

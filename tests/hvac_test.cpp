@@ -1,0 +1,206 @@
+// Tests for the cabin thermal model and the HVAC plant, including
+// energy-balance and envelope (C1–C10) property sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hvac/cabin_model.hpp"
+#include "hvac/hvac_plant.hpp"
+#include "sim/ode.hpp"
+#include "util/random.hpp"
+
+namespace evc::hvac {
+namespace {
+
+TEST(CabinModel, EquilibriumBalancesFluxes) {
+  CabinThermalModel cabin(default_hvac_params());
+  const double teq = cabin.equilibrium(18.0, 0.1, 35.0);
+  // At equilibrium the derivative vanishes.
+  EXPECT_NEAR(cabin.derivative(teq, 18.0, 0.1, 35.0), 0.0, 1e-12);
+}
+
+TEST(CabinModel, NoFlowEquilibriumIsAmbientPlusSolarRise) {
+  const HvacParams p = default_hvac_params();
+  CabinThermalModel cabin(p);
+  const double teq = cabin.equilibrium(0.0, 0.0, 30.0);
+  EXPECT_NEAR(teq, 30.0 + p.solar_load_w / p.wall_ua_w_per_k, 1e-9);
+}
+
+TEST(CabinModel, ExactStepMatchesRk4Integration) {
+  const HvacParams p = default_hvac_params();
+  CabinThermalModel cabin(p);
+  const double ts = 10.0, mz = 0.2, to = 38.0, tz0 = 27.0, dt = 60.0;
+  const double exact = cabin.step_exact(tz0, ts, mz, to, dt);
+  const auto rhs = [&](double, const std::vector<double>& x,
+                       std::vector<double>& dxdt) {
+    dxdt[0] = cabin.derivative(x[0], ts, mz, to);
+  };
+  const double rk4 = sim::integrate_fixed(rhs, {tz0}, 0, dt, 0.05)[0];
+  EXPECT_NEAR(exact, rk4, 1e-8);
+}
+
+TEST(CabinModel, StepConvergesToEquilibrium) {
+  CabinThermalModel cabin(default_hvac_params());
+  const double teq = cabin.equilibrium(12.0, 0.15, 40.0);
+  const double t_long = cabin.step_exact(25.0, 12.0, 0.15, 40.0, 7200.0);
+  EXPECT_NEAR(t_long, teq, 1e-4);
+}
+
+TEST(CabinModel, MonotoneResponseToSupplyTemp) {
+  CabinThermalModel cabin(default_hvac_params());
+  const double cold = cabin.step_exact(24.0, 10.0, 0.2, 35.0, 30.0);
+  const double warm = cabin.step_exact(24.0, 40.0, 0.2, 35.0, 30.0);
+  EXPECT_LT(cold, warm);
+}
+
+TEST(CabinModel, ZeroStepIsIdentity) {
+  CabinThermalModel cabin(default_hvac_params());
+  EXPECT_DOUBLE_EQ(cabin.step_exact(23.4, 10.0, 0.2, 35.0, 0.0), 23.4);
+}
+
+TEST(HvacPlant, MixerBlendsLinearly) {
+  HvacPlant plant(default_hvac_params(), 24.0);
+  EXPECT_DOUBLE_EQ(plant.mixed_temp(0.0, 40.0, 24.0), 40.0);
+  EXPECT_DOUBLE_EQ(plant.mixed_temp(1.0, 40.0, 24.0), 24.0);
+  EXPECT_DOUBLE_EQ(plant.mixed_temp(0.25, 40.0, 24.0), 36.0);
+}
+
+TEST(HvacPlant, SanitizeEnforcesEnvelope) {
+  const HvacParams p = default_hvac_params();
+  HvacPlant plant(p, 24.0);
+  HvacInputs wild;
+  wild.air_flow_kg_s = 5.0;        // way above C1
+  wild.recirculation = 2.0;        // above C7
+  wild.coil_temp_c = -40.0;        // below C5
+  wild.supply_temp_c = 200.0;      // above C6
+  const HvacInputs in = plant.sanitize(wild, 35.0, 24.0);
+  EXPECT_LE(in.air_flow_kg_s, p.max_air_flow_kg_s);
+  EXPECT_LE(in.recirculation, p.max_recirculation);
+  EXPECT_GE(in.coil_temp_c, p.min_coil_temp_c);
+  EXPECT_LE(in.supply_temp_c, p.max_supply_temp_c);
+  EXPECT_LE(in.coil_temp_c, in.supply_temp_c + 1e-12);  // C3
+}
+
+TEST(HvacPlant, SanitizeRespectsPowerCaps) {
+  const HvacParams p = default_hvac_params();
+  HvacPlant plant(p, 24.0);
+  // Demand maximum heating at maximum flow: the heater cap limits Ts.
+  HvacInputs in;
+  in.air_flow_kg_s = p.max_air_flow_kg_s;
+  in.recirculation = 0.0;
+  in.coil_temp_c = 0.0;  // clamps up to frost limit
+  in.supply_temp_c = p.max_supply_temp_c;
+  const HvacInputs s = plant.sanitize(in, 0.0, 20.0);
+  const HvacPower power = plant.power_for(s, plant.mixed_temp(0.0, 0.0, 20.0));
+  EXPECT_LE(power.heater_w, p.max_heater_power_w + 1.0);
+  EXPECT_LE(power.cooler_w, p.max_cooler_power_w + 1.0);
+  EXPECT_LE(power.fan_w, p.max_fan_power_w + 1.0);
+}
+
+TEST(HvacPlant, CoolingStepCoolsCabin) {
+  HvacPlant plant(default_hvac_params(), 28.0);
+  HvacInputs in;
+  in.air_flow_kg_s = 0.25;
+  in.recirculation = 0.5;
+  in.coil_temp_c = 5.0;
+  in.supply_temp_c = 5.0;
+  const HvacStepResult r = plant.step(in, 38.0, 10.0);
+  EXPECT_LT(r.cabin_temp_c, 28.0);
+  EXPECT_GT(r.power.cooler_w, 0.0);
+  EXPECT_NEAR(r.power.heater_w, 0.0, 1e-9);
+}
+
+TEST(HvacPlant, HeatingStepWarmsCabin) {
+  HvacPlant plant(default_hvac_params(), 15.0);
+  HvacInputs in;
+  in.air_flow_kg_s = 0.25;
+  in.recirculation = 0.5;
+  in.coil_temp_c = 60.0;  // clamps down to Tm → cooler inactive
+  in.supply_temp_c = 55.0;
+  const HvacStepResult r = plant.step(in, 0.0, 10.0);
+  EXPECT_GT(r.cabin_temp_c, 15.0);
+  EXPECT_GT(r.power.heater_w, 0.0);
+  EXPECT_NEAR(r.power.cooler_w, 0.0, 1e-9);
+}
+
+TEST(HvacPlant, FanPowerIsQuadraticInFlow) {
+  const HvacParams p = default_hvac_params();
+  HvacPlant plant(p, 24.0);
+  HvacInputs lo, hi;
+  lo.air_flow_kg_s = 0.1;
+  hi.air_flow_kg_s = 0.2;
+  lo.coil_temp_c = hi.coil_temp_c = 24.0;
+  lo.supply_temp_c = hi.supply_temp_c = 24.0;
+  const double pf_lo = plant.power_for(plant.sanitize(lo, 24, 24), 24).fan_w;
+  const double pf_hi = plant.power_for(plant.sanitize(hi, 24, 24), 24).fan_w;
+  EXPECT_NEAR(pf_hi / pf_lo, 4.0, 1e-9);
+}
+
+TEST(HvacPlant, IdleInputsDrawOnlyFanPower) {
+  HvacPlant plant(default_hvac_params(), 24.0);
+  HvacInputs in;
+  in.recirculation = 0.5;
+  in.air_flow_kg_s = 0.05;
+  const double tm = plant.mixed_temp(0.5, 24.0, 24.0);
+  in.coil_temp_c = tm;
+  in.supply_temp_c = tm;
+  const HvacStepResult r = plant.step(in, 24.0, 1.0);
+  EXPECT_NEAR(r.power.heater_w, 0.0, 1e-9);
+  EXPECT_NEAR(r.power.cooler_w, 0.0, 1e-9);
+  EXPECT_GT(r.power.fan_w, 0.0);
+}
+
+// --- Property sweep: random demands always yield a physical operating point
+class HvacEnvelopeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HvacEnvelopeProperty, SanitizedPointIsAlwaysPhysical) {
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 101 + 3);
+  const HvacParams p = default_hvac_params();
+  HvacPlant plant(p, rng.uniform(15.0, 35.0));
+  for (int i = 0; i < 50; ++i) {
+    const double to = rng.uniform(-20.0, 45.0);
+    HvacInputs req;
+    req.air_flow_kg_s = rng.uniform(-0.1, 0.6);
+    req.recirculation = rng.uniform(-0.5, 1.5);
+    req.coil_temp_c = rng.uniform(-30.0, 80.0);
+    req.supply_temp_c = rng.uniform(-30.0, 120.0);
+    const HvacStepResult r = plant.step(req, to, 1.0);
+
+    const HvacInputs& in = r.applied;
+    EXPECT_GE(in.air_flow_kg_s, p.min_air_flow_kg_s - 1e-12);
+    EXPECT_LE(in.air_flow_kg_s, p.max_air_flow_kg_s + 1e-12);
+    EXPECT_GE(in.recirculation, 0.0);
+    EXPECT_LE(in.recirculation, p.max_recirculation + 1e-12);
+    EXPECT_LE(in.coil_temp_c, r.mixed_temp_c + 1e-9);   // C4
+    EXPECT_LE(in.coil_temp_c, in.supply_temp_c + 1e-9); // C3
+    EXPECT_LE(in.supply_temp_c, p.max_supply_temp_c + 1e-9);
+    EXPECT_GE(r.power.heater_w, 0.0);
+    EXPECT_GE(r.power.cooler_w, 0.0);
+    EXPECT_LE(r.power.heater_w, p.max_heater_power_w + 1.0);
+    EXPECT_LE(r.power.cooler_w, p.max_cooler_power_w + 1.0);
+    EXPECT_LE(r.power.fan_w, p.max_fan_power_w + 1.0);
+    EXPECT_TRUE(std::isfinite(r.cabin_temp_c));
+    EXPECT_GT(r.cabin_temp_c, -60.0);
+    EXPECT_LT(r.cabin_temp_c, 90.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HvacEnvelopeProperty, ::testing::Range(0, 15));
+
+TEST(HvacParamsValidation, RejectsInconsistentConfig) {
+  HvacParams p = default_hvac_params();
+  p.comfort_min_c = 30.0;  // above comfort_max
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = default_hvac_params();
+  p.target_temp_c = 40.0;  // outside comfort zone
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = default_hvac_params();
+  p.heater_efficiency = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = default_hvac_params();
+  p.min_air_flow_kg_s = 0.5;  // above max flow
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evc::hvac

@@ -1,0 +1,123 @@
+// Cross-module integration tests: trip planner over extended cycles and
+// traffic, the ICE model's ambient monotonicity, the multi-zone supervisor
+// driven by the battery lifetime-aware MPC, and JSON export of a real run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/ice_model.hpp"
+#include "core/metrics_json.hpp"
+#include "core/multizone_control.hpp"
+#include "core/trip_planner.hpp"
+#include "drivecycle/standard_cycles.hpp"
+#include "drivecycle/traffic.hpp"
+
+namespace evc::core {
+namespace {
+
+TEST(Integration, TripPlannerHandlesExtendedCycles) {
+  TripPlanner planner{EvParams{}};
+  for (auto cycle : drive::extended_cycles()) {
+    const auto profile = drive::make_cycle_profile(cycle, 25.0);
+    const TripPlan plan = planner.plan(profile, 95.0, 1000.0);
+    EXPECT_TRUE(plan.reachable) << drive::cycle_name(cycle);
+    EXPECT_LT(plan.predicted_final_soc, 95.0) << drive::cycle_name(cycle);
+    EXPECT_GT(plan.predicted_final_soc, 55.0) << drive::cycle_name(cycle);
+  }
+}
+
+TEST(Integration, TrafficFollowerCostsSimilarEnergyToLeader) {
+  // The follower covers nearly the same distance with the same character;
+  // its trip energy should land within ~15 % of the leader's.
+  const auto leader = drive::make_cycle_profile(drive::StandardCycle::kUdds,
+                                                25.0);
+  const auto ego = drive::follow_leader(leader);
+  TripPlanner planner{EvParams{}};
+  const double leader_energy =
+      planner.plan(leader, 90.0, 0.0).predicted_energy_j;
+  const double ego_energy = planner.plan(ego, 90.0, 0.0).predicted_energy_j;
+  EXPECT_NEAR(ego_energy, leader_energy, 0.15 * leader_energy);
+}
+
+TEST(Integration, IceHvacShareGrowsWithHeat) {
+  IceVehicleModel ice;
+  double prev = -1.0;
+  for (double ambient : {25.0, 32.0, 40.0}) {
+    const auto profile =
+        drive::make_cycle_profile(drive::StandardCycle::kUdds, ambient);
+    const double share = ice.average_power_share(profile).hvac_fraction();
+    EXPECT_GT(share, prev) << "ambient " << ambient;
+    prev = share;
+  }
+}
+
+TEST(Integration, SupervisedMpcControlsTwoZones) {
+  // The paper's controller as the supply stage of the two-zone cabin: the
+  // hierarchical composition must hold both rows in comfort on a short
+  // hot-weather run.
+  const EvParams params;
+  hvac::MultiZoneParams zones;
+  zones.base = params.hvac;
+  hvac::MultiZonePlant plant(zones, {26.5, 26.5});
+  MultiZoneSupervisor supervisor(make_mpc_controller(params), zones);
+
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kEceEudc, 38.0)
+          .window(0, 240);
+  // Forecast plumbing as in ClimateSimulation.
+  pt::PowerTrain ptrain(params.vehicle);
+  std::vector<double> motor(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i)
+    motor[i] = ptrain.power(profile[i]).electrical_power_w;
+
+  for (std::size_t t = 0; t < profile.size(); ++t) {
+    ctl::ControlContext c;
+    c.time_s = static_cast<double>(t);
+    c.dt_s = 1.0;
+    c.outside_temp_c = profile[t].ambient_c;
+    c.soc_percent = 90.0;
+    c.motor_power_forecast_w.assign(120, 0.0);
+    c.outside_temp_forecast_c.assign(120, profile[t].ambient_c);
+    for (std::size_t j = 0; j < 120; ++j)
+      c.motor_power_forecast_w[j] =
+          motor[std::min(t + j, profile.size() - 1)];
+    supervisor.step(plant, c, 1.0);
+  }
+  const auto& temps = plant.zone_temps_c();
+  for (double tz : temps) {
+    EXPECT_GT(tz, params.hvac.comfort_min_c - 0.5);
+    EXPECT_LT(tz, params.hvac.comfort_max_c + 0.5);
+  }
+  EXPECT_LT(std::abs(temps[0] - temps[1]), 1.5);
+}
+
+TEST(Integration, JsonExportOfRealComparison) {
+  const EvParams params;
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kSc03, 30.0)
+          .window(0, 120);
+  SimulationOptions opts;
+  opts.record_traces = false;
+  const auto runs = compare_controllers(params, profile, opts);
+  const std::string json = to_json(runs);
+  // Structural sanity: three controller entries, valid bracket nesting.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"controller\":", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 3u);
+  long depth = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace evc::core

@@ -1,0 +1,141 @@
+// Tests for the Kalman filter and the cabin-temperature estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hvac/cabin_model.hpp"
+#include "sim/kalman.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace evc::sim {
+namespace {
+
+using num::Matrix;
+using num::Vector;
+
+KalmanFilter make_scalar_kf(double f, double q, double r, double x0,
+                            double p0) {
+  return KalmanFilter(Matrix(1, 1, f), Matrix(1, 1, 1.0),
+                      Matrix::identity(1), Matrix(1, 1, q), Matrix(1, 1, r),
+                      Vector{x0}, Matrix(1, 1, p0));
+}
+
+TEST(Kalman, ConvergesOnConstantSignal) {
+  auto kf = make_scalar_kf(1.0, 1e-6, 0.25, 0.0, 10.0);
+  SplitMix64 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    kf.predict(Vector{0.0});
+    kf.update(Vector{5.0 + rng.normal(0.0, 0.5)});
+  }
+  EXPECT_NEAR(kf.state()[0], 5.0, 0.15);
+  EXPECT_LT(kf.covariance()(0, 0), 0.25);
+}
+
+TEST(Kalman, CovarianceShrinksWithUpdates) {
+  auto kf = make_scalar_kf(1.0, 1e-4, 1.0, 0.0, 100.0);
+  const double p0 = kf.covariance()(0, 0);
+  kf.predict(Vector{0.0});
+  kf.update(Vector{1.0});
+  EXPECT_LT(kf.covariance()(0, 0), p0);
+}
+
+TEST(Kalman, TracksRampWithControlInput) {
+  // x_{k+1} = x_k + u, u = 0.1 — with the control modeled, the filter
+  // tracks with no lag bias.
+  auto kf = make_scalar_kf(1.0, 1e-4, 0.04, 0.0, 1.0);
+  SplitMix64 rng(11);
+  double truth = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    truth += 0.1;
+    kf.predict(Vector{0.1});
+    kf.update(Vector{truth + rng.normal(0.0, 0.2)});
+  }
+  EXPECT_NEAR(kf.state()[0], truth, 0.3);
+}
+
+TEST(Kalman, TwoStateConstantVelocity) {
+  // Position-velocity model observing position only: velocity must be
+  // inferred.
+  Matrix f = Matrix::identity(2);
+  f(0, 1) = 1.0;  // dt = 1
+  Matrix b(2, 1);  // no control
+  Matrix h(1, 2);
+  h(0, 0) = 1.0;
+  Matrix q = Matrix::identity(2);
+  q *= 1e-4;
+  Matrix r(1, 1, 0.09);
+  KalmanFilter kf(f, b, h, q, r, Vector{0.0, 0.0}, Matrix::identity(2));
+  SplitMix64 rng(5);
+  double pos = 0.0;
+  const double vel = 0.7;
+  for (int i = 0; i < 400; ++i) {
+    pos += vel;
+    kf.predict(Vector{0.0});
+    kf.update(Vector{pos + rng.normal(0.0, 0.3)});
+  }
+  EXPECT_NEAR(kf.state()[1], vel, 0.05);
+}
+
+TEST(Kalman, ValidatesDimensions) {
+  EXPECT_THROW(KalmanFilter(Matrix(2, 2), Matrix(1, 1), Matrix(1, 2),
+                            Matrix(2, 2), Matrix(1, 1), Vector{0.0, 0.0},
+                            Matrix(2, 2)),
+               std::invalid_argument);  // B has wrong row count
+  auto kf = make_scalar_kf(1.0, 1e-4, 1.0, 0.0, 1.0);
+  EXPECT_THROW(kf.update(Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+// --- Cabin temperature estimator against the real cabin model ---
+
+TEST(CabinEstimator, BeatsRawSensorNoise) {
+  const hvac::HvacParams params = hvac::default_hvac_params();
+  const hvac::CabinThermalModel cabin(params);
+  const double dt = 1.0, to = 35.0, ts = 12.0, mz = 0.15;
+  const double rate =
+      (params.wall_ua_w_per_k + mz * params.air_cp) /
+      params.cabin_capacitance_j_per_k;
+  const double decay = std::exp(-rate * dt);
+  const double sensor_sigma = 0.5;
+
+  CabinTempEstimator est(26.0, 1e-4, sensor_sigma * sensor_sigma);
+  SplitMix64 rng(17);
+  double truth = 26.0;
+  RunningStats raw_err, est_err;
+  for (int t = 0; t < 900; ++t) {
+    truth = cabin.step_exact(truth, ts, mz, to, dt);
+    const double predicted = cabin.step_exact(est.estimate(), ts, mz, to, dt);
+    const double measured = truth + rng.normal(0.0, sensor_sigma);
+    est.step(predicted, decay, measured);
+    if (t > 50) {
+      raw_err.add(std::abs(measured - truth));
+      est_err.add(std::abs(est.estimate() - truth));
+    }
+  }
+  // The filtered estimate must be several times better than the raw sensor.
+  EXPECT_LT(est_err.mean(), 0.4 * raw_err.mean());
+}
+
+TEST(CabinEstimator, VarianceReachesSteadyState) {
+  CabinTempEstimator est(24.0, 1e-3, 0.25);
+  double prev = 1e9;
+  for (int i = 0; i < 200; ++i) {
+    est.step(24.0, 0.99, 24.0);
+    prev = est.variance();
+  }
+  // Riccati fixed point of the scalar filter.
+  EXPECT_GT(prev, 0.0);
+  EXPECT_LT(prev, 0.25);
+  const double before = est.variance();
+  est.step(24.0, 0.99, 24.0);
+  EXPECT_NEAR(est.variance(), before, 1e-6);
+}
+
+TEST(CabinEstimator, RejectsBadConfig) {
+  EXPECT_THROW(CabinTempEstimator(24.0, 0.0, 0.1), std::invalid_argument);
+  CabinTempEstimator est(24.0, 1e-3, 0.1);
+  EXPECT_THROW(est.step(24.0, 1.5, 24.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evc::sim

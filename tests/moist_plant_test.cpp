@@ -1,0 +1,160 @@
+// Tests for the moist-air plant composition, the WLTP cycle addition, and
+// calendar aging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "battery/soh_model.hpp"
+#include "drivecycle/standard_cycles.hpp"
+#include "hvac/moist_plant.hpp"
+#include "util/units.hpp"
+
+namespace evc {
+namespace {
+
+// --- Moist plant ---
+
+TEST(MoistPlant, DryClimateAddsNoLatentLoad) {
+  hvac::MoistHvacPlant plant(hvac::default_hvac_params(),
+                             hvac::MoistureParams{}, 26.0, 0.3);
+  hvac::HvacInputs in;
+  in.air_flow_kg_s = 0.2;
+  in.recirculation = 0.5;
+  in.coil_temp_c = 15.0;  // above the dew point of 20 %-RH desert air
+  in.supply_temp_c = 15.0;
+  const auto r = plant.step(in, 38.0, 0.10, 1.0);
+  EXPECT_NEAR(r.latent_cooler_w, 0.0, 1e-9);
+  EXPECT_NEAR(r.total_power_w, r.dry.power.total(), 1e-9);
+}
+
+TEST(MoistPlant, HumidClimateChargesTheCoil) {
+  hvac::MoistHvacPlant plant(hvac::default_hvac_params(),
+                             hvac::MoistureParams{}, 26.0, 0.5);
+  hvac::HvacInputs in;
+  in.air_flow_kg_s = 0.2;
+  in.recirculation = 0.3;  // plenty of humid fresh air
+  in.coil_temp_c = 5.0;
+  in.supply_temp_c = 5.0;
+  const auto r = plant.step(in, 34.0, 0.85, 1.0);
+  EXPECT_GT(r.latent_cooler_w, 200.0);
+  EXPECT_GT(r.total_power_w, r.dry.power.total());
+}
+
+TEST(MoistPlant, LatentLoadGrowsWithOutsideHumidity) {
+  double prev = -1.0;
+  for (double rh : {0.3, 0.6, 0.9}) {
+    hvac::MoistHvacPlant plant(hvac::default_hvac_params(),
+                               hvac::MoistureParams{}, 26.0, 0.5);
+    hvac::HvacInputs in;
+    in.air_flow_kg_s = 0.2;
+    in.recirculation = 0.3;
+    in.coil_temp_c = 5.0;
+    in.supply_temp_c = 5.0;
+    double latent = 0.0;
+    for (int t = 0; t < 60; ++t) latent = plant.step(in, 34.0, rh, 1.0)
+                                              .latent_cooler_w;
+    EXPECT_GT(latent, prev) << "RH " << rh;
+    prev = latent;
+  }
+}
+
+TEST(MoistPlant, TracksCabinDehumidification) {
+  hvac::MoistHvacPlant plant(hvac::default_hvac_params(),
+                             hvac::MoistureParams{}, 27.0, 0.8);
+  const double w0 = plant.cabin_humidity_ratio();
+  hvac::HvacInputs in;
+  in.air_flow_kg_s = 0.25;
+  in.recirculation = 0.9;  // recirculate: the coil dries the cabin air
+  in.coil_temp_c = 4.0;
+  in.supply_temp_c = 4.0;
+  for (int t = 0; t < 600; ++t) plant.step(in, 34.0, 0.5, 1.0);
+  EXPECT_LT(plant.cabin_humidity_ratio(), w0);
+}
+
+TEST(MoistPlant, RejectsBadHumidity) {
+  hvac::MoistHvacPlant plant(hvac::default_hvac_params(),
+                             hvac::MoistureParams{}, 26.0, 0.5);
+  EXPECT_THROW(plant.step(hvac::HvacInputs{}, 30.0, 1.5, 1.0),
+               std::invalid_argument);
+}
+
+// --- WLTP ---
+
+TEST(Wltp, MatchesPublishedStatistics) {
+  const auto p = drive::make_cycle_profile(drive::StandardCycle::kWltp, 25.0);
+  const auto ref = drive::cycle_reference(drive::StandardCycle::kWltp);
+  EXPECT_NEAR(p.duration(), ref.duration_s, 20.0);
+  EXPECT_NEAR(p.total_distance_m() / 1000.0, ref.distance_km,
+              0.10 * ref.distance_km);
+  EXPECT_NEAR(units::mps_to_kmh(p.max_speed_mps()), ref.max_speed_kmh, 2.0);
+}
+
+TEST(Wltp, NotPartOfThePapersEvaluationSet) {
+  for (auto cycle : drive::all_standard_cycles())
+    EXPECT_NE(cycle, drive::StandardCycle::kWltp);
+}
+
+TEST(Wltp, FourPhasesAreOrderedByPeakSpeed) {
+  const auto p = drive::make_cycle_profile(drive::StandardCycle::kWltp, 25.0);
+  const auto peak_in = [&](std::size_t from, std::size_t to) {
+    double m = 0.0;
+    for (std::size_t i = from; i < std::min(to, p.size()); ++i)
+      m = std::max(m, p[i].speed_mps);
+    return units::mps_to_kmh(m);
+  };
+  const double low = peak_in(0, 585);
+  const double medium = peak_in(585, 1018);
+  const double high = peak_in(1018, 1473);
+  const double xhigh = peak_in(1473, p.size());
+  EXPECT_LT(low, medium);
+  EXPECT_LT(medium, high);
+  EXPECT_LT(high, xhigh);
+  EXPECT_NEAR(xhigh, 131.3, 2.0);
+}
+
+// --- Calendar aging ---
+
+TEST(CalendarAging, SqrtTimeLaw) {
+  bat::SohModel soh(bat::leaf_24kwh_params());
+  const double one_year = soh.calendar_fade(365.0, 70.0);
+  const double four_years = soh.calendar_fade(4.0 * 365.0, 70.0);
+  EXPECT_NEAR(four_years / one_year, 2.0, 1e-9);  // √t
+  EXPECT_NEAR(one_year, 2.0, 0.5);  // ≈2 % in the first year
+}
+
+TEST(CalendarAging, HighStandingSocAgesFaster) {
+  bat::SohModel soh(bat::leaf_24kwh_params());
+  EXPECT_GT(soh.calendar_fade(365.0, 95.0), soh.calendar_fade(365.0, 50.0));
+}
+
+TEST(CalendarAging, CombinedLifetimeIsShorterThanEitherAlone) {
+  bat::SohModel soh(bat::leaf_24kwh_params());
+  const double per_cycle = 0.02;  // typical measured trip fade
+  const double years_combined = soh.years_to_end_of_life(per_cycle, 1.0, 70.0);
+  // Cycle-only bound: 20 / 0.02 = 1000 cycles ≈ 2.7 years at 1/day.
+  const double years_cycle_only = 20.0 / (per_cycle * 365.0);
+  EXPECT_LT(years_combined, years_cycle_only);
+  EXPECT_GT(years_combined, 0.5 * years_cycle_only);
+  // Consistency: the combined fade at the solved lifetime equals the EOL.
+  const double days = 365.0 * years_combined;
+  EXPECT_NEAR(per_cycle * days + soh.calendar_fade(days, 70.0), 20.0, 0.01);
+}
+
+TEST(CalendarAging, CalendarOnlyLifetime) {
+  bat::SohModel soh(bat::leaf_24kwh_params());
+  const double years = soh.years_to_end_of_life(0.0, 0.0, 70.0);
+  // 2 %·√years·… = 20 % → ≈100 years under √t extrapolation (a known
+  // optimism of the law; the point is the solver, not the chemistry).
+  EXPECT_GT(years, 50.0);
+  EXPECT_THROW(
+      [&] {
+        bat::BatteryParams p = bat::leaf_24kwh_params();
+        p.calendar_k = 0.0;
+        bat::SohModel no_aging(p);
+        return no_aging.years_to_end_of_life(0.0, 0.0, 70.0);
+      }(),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evc

@@ -1,0 +1,139 @@
+// Tests for the multi-zone cabin network and plant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/fuzzy_controller.hpp"
+#include "hvac/cabin_model.hpp"
+#include "hvac/multizone.hpp"
+
+namespace evc::hvac {
+namespace {
+
+MultiZoneParams symmetric_two_zone() {
+  MultiZoneParams p;
+  p.capacitance_fraction = {0.5, 0.5};
+  p.wall_fraction = {0.5, 0.5};
+  p.solar_fraction = {0.5, 0.5};
+  p.interzone_ua = {25.0};
+  return p;
+}
+
+TEST(MultiZone, ValidatesConfiguration) {
+  MultiZoneParams p = symmetric_two_zone();
+  p.capacitance_fraction = {0.7, 0.7};  // sums to 1.4
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = symmetric_two_zone();
+  p.interzone_ua = {};  // wrong pair count
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = symmetric_two_zone();
+  p.capacitance_fraction = {1.0};  // single zone is not multi-zone
+  p.wall_fraction = {1.0};
+  p.solar_fraction = {1.0};
+  p.interzone_ua = {};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(MultiZone, SymmetricZonesStayIdentical) {
+  MultiZoneCabinModel cabin(symmetric_two_zone());
+  std::vector<double> temps{26.0, 26.0};
+  for (int t = 0; t < 300; ++t)
+    temps = cabin.step(temps, 12.0, 0.2, {0.5, 0.5}, 38.0, 1.0);
+  EXPECT_NEAR(temps[0], temps[1], 1e-9);
+}
+
+TEST(MultiZone, SymmetricNetworkMatchesSingleZoneModel) {
+  // With identical zones and an even split, the mean temperature must
+  // track the single-zone model exactly (the network degenerates).
+  const MultiZoneParams mz_params = symmetric_two_zone();
+  MultiZoneCabinModel network(mz_params);
+  CabinThermalModel single(mz_params.base);
+  std::vector<double> temps{27.0, 27.0};
+  double tz = 27.0;
+  for (int t = 0; t < 600; ++t) {
+    temps = network.step(temps, 10.0, 0.15, {0.5, 0.5}, 36.0, 1.0);
+    tz = single.step_exact(tz, 10.0, 0.15, 36.0, 1.0);
+  }
+  EXPECT_NEAR(0.5 * (temps[0] + temps[1]), tz, 0.01);
+}
+
+TEST(MultiZone, InterZoneConductionEqualizes) {
+  MultiZoneParams p = symmetric_two_zone();
+  MultiZoneCabinModel cabin(p);
+  // No flow, no wall/solar asymmetry: zones must converge toward each
+  // other through the inter-zone coupling.
+  std::vector<double> temps{30.0, 20.0};
+  const double gap0 = temps[0] - temps[1];
+  temps = cabin.step(temps, 25.0, 0.0, {0.5, 0.5}, 25.0, 120.0);
+  EXPECT_LT(temps[0] - temps[1], gap0);
+  EXPECT_GT(temps[0], temps[1]);  // monotone approach, no overshoot
+}
+
+TEST(MultiZone, StarvedZoneDriftsTowardOutside) {
+  // All flow to the front: the rear zone is conditioned only through the
+  // inter-zone coupling and drifts warmer in a hot soak.
+  MultiZoneParams p;  // default asymmetric front/rear
+  MultiZonePlant plant(p, {24.0, 24.0});
+  HvacInputs in;
+  in.air_flow_kg_s = 0.2;
+  in.recirculation = 0.5;
+  in.coil_temp_c = 6.0;
+  in.supply_temp_c = 6.0;
+  for (int t = 0; t < 900; ++t) plant.step(in, {1.0, 0.0}, 40.0, 1.0);
+  const auto& temps = plant.zone_temps_c();
+  EXPECT_LT(temps[0], temps[1] - 1.0);  // front colder than rear
+}
+
+TEST(MultiZone, SplitNormalizationAndDefaults) {
+  MultiZonePlant plant(symmetric_two_zone(), {25.0, 25.0});
+  HvacInputs in;
+  in.air_flow_kg_s = 0.1;
+  in.recirculation = 0.5;
+  in.coil_temp_c = 10.0;
+  in.supply_temp_c = 10.0;
+  // Un-normalized split is normalized.
+  const auto r = plant.step(in, {2.0, 2.0}, 35.0, 1.0);
+  EXPECT_NEAR(r.split[0], 0.5, 1e-12);
+  // Empty split → uniform.
+  const auto r2 = plant.step(in, {}, 35.0, 1.0);
+  EXPECT_NEAR(r2.split[1], 0.5, 1e-12);
+  // Bad split count throws.
+  EXPECT_THROW(plant.step(in, {1.0}, 35.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(MultiZone, PowerComesFromSharedStage) {
+  MultiZonePlant plant(symmetric_two_zone(), {28.0, 28.0});
+  HvacInputs in;
+  in.air_flow_kg_s = 0.25;
+  in.recirculation = 0.5;
+  in.coil_temp_c = 4.0;
+  in.supply_temp_c = 4.0;
+  const auto r = plant.step(in, {}, 40.0, 1.0);
+  EXPECT_GT(r.power.cooler_w, 1000.0);
+  EXPECT_GT(r.power.fan_w, 100.0);
+  EXPECT_NEAR(r.power.heater_w, 0.0, 1e-9);
+}
+
+TEST(MultiZone, ClosedLoopWithSingleZoneControllerHoldsMean) {
+  // A single-zone fuzzy controller reading the mean temperature keeps the
+  // mean in the comfort zone even though zones diverge slightly.
+  MultiZoneParams p;  // asymmetric defaults
+  MultiZonePlant plant(p, {27.0, 27.0});
+  ctl::FuzzyController controller(p.base);
+  ctl::ControlContext c;
+  c.dt_s = 1.0;
+  for (int t = 0; t < 1500; ++t) {
+    c.cabin_temp_c = plant.mean_cabin_temp_c();
+    c.outside_temp_c = 38.0;
+    plant.step(controller.decide(c), {}, 38.0, 1.0);
+  }
+  EXPECT_NEAR(plant.mean_cabin_temp_c(), p.base.target_temp_c, 1.0);
+  // The zones differ (front gets more sun/wall), but not wildly.
+  const auto& temps = plant.zone_temps_c();
+  EXPECT_GT(std::abs(temps[0] - temps[1]), 0.01);
+  EXPECT_LT(std::abs(temps[0] - temps[1]), 3.0);
+}
+
+}  // namespace
+}  // namespace evc::hvac

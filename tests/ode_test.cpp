@@ -1,0 +1,91 @@
+// Tests for the ODE integrators against closed-form solutions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/ode.hpp"
+
+namespace evc::sim {
+namespace {
+
+// dx/dt = −x, x(0)=1 → x(t) = e^{−t}.
+const OdeRhs kDecay = [](double, const std::vector<double>& x,
+                         std::vector<double>& dxdt) { dxdt[0] = -x[0]; };
+
+// Harmonic oscillator: x'' = −x as 2-state system; energy is conserved.
+const OdeRhs kOscillator = [](double, const std::vector<double>& x,
+                              std::vector<double>& dxdt) {
+  dxdt[0] = x[1];
+  dxdt[1] = -x[0];
+};
+
+TEST(OdeFixed, EulerConvergesFirstOrder) {
+  const double exact = std::exp(-1.0);
+  const double e1 =
+      std::abs(integrate_fixed(kDecay, {1.0}, 0, 1, 0.01,
+                               OdeMethod::kEuler)[0] - exact);
+  const double e2 =
+      std::abs(integrate_fixed(kDecay, {1.0}, 0, 1, 0.005,
+                               OdeMethod::kEuler)[0] - exact);
+  EXPECT_LT(e2, e1);
+  EXPECT_NEAR(e1 / e2, 2.0, 0.3);  // halving dt halves the error
+}
+
+TEST(OdeFixed, Rk4IsAccurate) {
+  const double x1 = integrate_fixed(kDecay, {1.0}, 0, 1, 0.1)[0];
+  EXPECT_NEAR(x1, std::exp(-1.0), 1e-6);
+}
+
+TEST(OdeFixed, Rk4ConvergesFourthOrder) {
+  const double exact = std::exp(-2.0);
+  const double e1 =
+      std::abs(integrate_fixed(kDecay, {1.0}, 0, 2, 0.2)[0] - exact);
+  const double e2 =
+      std::abs(integrate_fixed(kDecay, {1.0}, 0, 2, 0.1)[0] - exact);
+  EXPECT_NEAR(e1 / e2, 16.0, 8.0);
+}
+
+TEST(OdeFixed, LandsExactlyOnFinalTime) {
+  // t1 not a multiple of dt: last step must be shortened, not overshot.
+  const double x = integrate_fixed(kDecay, {1.0}, 0, 0.95, 0.2)[0];
+  EXPECT_NEAR(x, std::exp(-0.95), 1e-5);
+}
+
+TEST(OdeFixed, ZeroLengthIntervalReturnsInitialState) {
+  const auto x = integrate_fixed(kOscillator, {1.0, 0.0}, 3.0, 3.0, 0.1);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(OdeFixed, RejectsBadArguments) {
+  EXPECT_THROW(integrate_fixed(kDecay, {1.0}, 0, 1, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(integrate_fixed(kDecay, {1.0}, 1, 0, 0.1),
+               std::invalid_argument);
+}
+
+TEST(OdeAdaptive, MatchesClosedFormDecay) {
+  const auto x = integrate_adaptive(kDecay, {1.0}, 0, 3);
+  EXPECT_NEAR(x[0], std::exp(-3.0), 1e-7);
+}
+
+TEST(OdeAdaptive, OscillatorEnergyConserved) {
+  const double period = 2.0 * 3.14159265358979323846;
+  const auto x = integrate_adaptive(kOscillator, {1.0, 0.0}, 0, 5 * period);
+  EXPECT_NEAR(x[0], 1.0, 1e-5);
+  EXPECT_NEAR(x[1], 0.0, 1e-5);
+  EXPECT_NEAR(x[0] * x[0] + x[1] * x[1], 1.0, 1e-6);
+}
+
+TEST(OdeAdaptive, AgreesWithRk4OnSmoothProblem) {
+  const OdeRhs rhs = [](double t, const std::vector<double>& x,
+                        std::vector<double>& dxdt) {
+    dxdt[0] = std::sin(t) - 0.5 * x[0];
+  };
+  const double a = integrate_adaptive(rhs, {0.2}, 0, 10)[0];
+  const double b = integrate_fixed(rhs, {0.2}, 0, 10, 1e-3)[0];
+  EXPECT_NEAR(a, b, 1e-6);
+}
+
+}  // namespace
+}  // namespace evc::sim

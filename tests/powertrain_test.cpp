@@ -1,0 +1,170 @@
+// Tests for road load, motor efficiency map, and the power train model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "drivecycle/standard_cycles.hpp"
+#include "powertrain/power_train.hpp"
+#include "util/units.hpp"
+
+namespace evc::pt {
+namespace {
+
+TEST(RoadLoad, ZeroAtStandstillOnFlat) {
+  RoadLoadModel model(nissan_leaf_params());
+  const RoadLoad load = model.road_load(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(load.aero_n, 0.0);
+  EXPECT_DOUBLE_EQ(load.grade_n, 0.0);
+  EXPECT_DOUBLE_EQ(load.rolling_n, 0.0);
+}
+
+TEST(RoadLoad, AeroIsQuadraticInSpeed) {
+  RoadLoadModel model(nissan_leaf_params());
+  const double a10 = model.road_load(10.0, 0.0).aero_n;
+  const double a20 = model.road_load(20.0, 0.0).aero_n;
+  EXPECT_NEAR(a20 / a10, 4.0, 1e-9);
+}
+
+TEST(RoadLoad, HeadwindIncreasesAero) {
+  VehicleParams params = nissan_leaf_params();
+  params.headwind_mps = 5.0;
+  RoadLoadModel windy(params);
+  RoadLoadModel calm(nissan_leaf_params());
+  EXPECT_GT(windy.road_load(20.0, 0.0).aero_n,
+            calm.road_load(20.0, 0.0).aero_n);
+}
+
+TEST(RoadLoad, GradeMatchesAnalyticForm) {
+  const VehicleParams p = nissan_leaf_params();
+  RoadLoadModel model(p);
+  // 100 % grade = 45°: Fgr = m·g·sin(45°).
+  EXPECT_NEAR(model.road_load(0.0, 100.0).grade_n,
+              p.mass_kg * 9.81 * std::sin(std::atan(1.0)), 1e-6);
+  // Downhill is negative.
+  EXPECT_LT(model.road_load(10.0, -5.0).grade_n, 0.0);
+}
+
+TEST(RoadLoad, CruisePowerAt100KmhIsLeafLike) {
+  // A Leaf cruising at 100 km/h on flat road draws roughly 13–18 kW —
+  // the calibration anchor of paper §II-B.
+  PowerTrain pt(nissan_leaf_params());
+  drive::DriveSample s;
+  s.speed_mps = units::kmh_to_mps(100.0);
+  const double p = pt.power(s).electrical_power_w;
+  EXPECT_GT(p, 11e3);
+  EXPECT_LT(p, 19e3);
+}
+
+TEST(RoadLoad, RejectsNegativeSpeed) {
+  RoadLoadModel model(nissan_leaf_params());
+  EXPECT_THROW(model.road_load(-1.0, 0.0), std::invalid_argument);
+}
+
+TEST(MotorMap, EfficiencyWithinPhysicalBounds) {
+  MotorEfficiencyMap map;
+  for (double w : {0.0, 100.0, 400.0, 900.0})
+    for (double t : {0.0, 20.0, 120.0, 260.0}) {
+      const double e = map.efficiency(w, t);
+      EXPECT_GT(e, 0.0);
+      EXPECT_LE(e, 0.951);
+    }
+}
+
+TEST(MotorMap, PeakIsInMidRange) {
+  MotorEfficiencyMap map;
+  const double mid = map.efficiency(500.0, 60.0);
+  EXPECT_GT(mid, 0.88);                         // broad efficient island
+  EXPECT_LT(map.efficiency(30.0, 10.0), mid);   // crawling is inefficient
+  EXPECT_LT(map.efficiency(100.0, 260.0), mid); // launch torque is lossy
+}
+
+TEST(MotorMap, SymmetricInTorqueSign) {
+  MotorEfficiencyMap map;
+  EXPECT_DOUBLE_EQ(map.efficiency(300.0, 80.0), map.efficiency(300.0, -80.0));
+}
+
+TEST(PowerTrain, RegenIsNegativeAndCapped) {
+  const VehicleParams params = nissan_leaf_params();
+  PowerTrain pt(params);
+  drive::DriveSample s;
+  s.speed_mps = 25.0;
+  s.accel_mps2 = -3.0;  // hard braking
+  const TractionPower p = pt.power(s);
+  EXPECT_LT(p.mechanical_power_w, 0.0);
+  EXPECT_LT(p.electrical_power_w, 0.0);
+  EXPECT_GE(p.electrical_power_w, -params.max_regen_power_w);
+}
+
+TEST(PowerTrain, MotorPowerIsCapped) {
+  const VehicleParams params = nissan_leaf_params();
+  PowerTrain pt(params);
+  drive::DriveSample s;
+  s.speed_mps = 30.0;
+  s.accel_mps2 = 4.0;  // beyond the motor's capability
+  EXPECT_LE(pt.power(s).electrical_power_w, params.max_motor_power_w);
+}
+
+TEST(PowerTrain, ElectricalExceedsMechanicalWhenMotoring) {
+  PowerTrain pt(nissan_leaf_params());
+  drive::DriveSample s;
+  s.speed_mps = 15.0;
+  s.accel_mps2 = 0.5;
+  const TractionPower p = pt.power(s);
+  ASSERT_GT(p.mechanical_power_w, 0.0);
+  EXPECT_GT(p.electrical_power_w, p.mechanical_power_w);
+  // And the converse when generating.
+  s.accel_mps2 = -2.0;
+  const TractionPower r = pt.power(s);
+  ASSERT_LT(r.mechanical_power_w, 0.0);
+  EXPECT_GT(r.electrical_power_w, r.mechanical_power_w);  // less negative
+}
+
+TEST(PowerTrain, MonotoneInSlope) {
+  PowerTrain pt(nissan_leaf_params());
+  double prev = -1e18;
+  for (double slope : {-6.0, -2.0, 0.0, 2.0, 6.0}) {
+    drive::DriveSample s;
+    s.speed_mps = 15.0;
+    s.slope_percent = slope;
+    const double p = pt.power(s).electrical_power_w;
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerTrain, NedcConsumptionIsLeafLike) {
+  // Leaf-class NEDC consumption is ~120–160 Wh/km including accessories —
+  // the paper verified its power train model against this figure.
+  PowerTrain pt(nissan_leaf_params());
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kNedc, 20.0);
+  const double wh_per_km = pt.trip_energy_j(profile) / 3600.0 /
+                           (profile.total_distance_m() / 1000.0);
+  EXPECT_GT(wh_per_km, 85.0);
+  EXPECT_LT(wh_per_km, 180.0);
+}
+
+class PowerTrainCycleSweep
+    : public ::testing::TestWithParam<drive::StandardCycle> {};
+
+TEST_P(PowerTrainCycleSweep, TraceIsBoundedAndFinite) {
+  PowerTrain pt(nissan_leaf_params());
+  const auto profile = drive::make_cycle_profile(GetParam(), 20.0);
+  const auto trace = pt.power_trace(profile);
+  ASSERT_EQ(trace.size(), profile.size());
+  const VehicleParams& params = pt.params();
+  for (double p : trace) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_LE(p, params.max_motor_power_w + 1e-6);
+    EXPECT_GE(p, -params.max_regen_power_w - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCycles, PowerTrainCycleSweep,
+                         ::testing::ValuesIn(drive::all_standard_cycles()),
+                         [](const auto& suite_info) {
+                           return drive::cycle_name(suite_info.param);
+                         });
+
+}  // namespace
+}  // namespace evc::pt

@@ -1,0 +1,57 @@
+// Tests for the time-series recorder.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/recorder.hpp"
+
+namespace evc::sim {
+namespace {
+
+TEST(Recorder, RecordsAndReadsBack) {
+  StateRecorder rec;
+  rec.record("a", 0.0, 1.0);
+  rec.record("a", 1.0, 2.0);
+  rec.record("b", 0.0, -1.0);
+  EXPECT_TRUE(rec.has("a"));
+  EXPECT_FALSE(rec.has("c"));
+  EXPECT_EQ(rec.samples("a"), 2u);
+  EXPECT_DOUBLE_EQ(rec.values("a")[1], 2.0);
+  EXPECT_DOUBLE_EQ(rec.times("a")[1], 1.0);
+  EXPECT_EQ(rec.channels().size(), 2u);
+}
+
+TEST(Recorder, UnknownChannelThrows) {
+  StateRecorder rec;
+  EXPECT_THROW(rec.values("missing"), std::invalid_argument);
+  EXPECT_THROW(rec.write_csv("/tmp/empty.csv"), std::invalid_argument);
+}
+
+TEST(Recorder, CsvRoundTrip) {
+  StateRecorder rec;
+  for (int i = 0; i < 3; ++i) {
+    rec.record("x", i, 10.0 * i);
+    rec.record("y", i, -1.0 * i);
+  }
+  const std::string path = "/tmp/evc_recorder_test.csv";
+  rec.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,0,-0");
+  std::remove(path.c_str());
+}
+
+TEST(Recorder, MismatchedChannelLengthsRejectedAtCsv) {
+  StateRecorder rec;
+  rec.record("x", 0.0, 1.0);
+  rec.record("x", 1.0, 2.0);
+  rec.record("y", 0.0, 1.0);
+  EXPECT_THROW(rec.write_csv("/tmp/evc_bad.csv"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evc::sim

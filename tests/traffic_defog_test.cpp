@@ -1,0 +1,152 @@
+// Tests for the IDM traffic model and the windshield defog guard.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "drivecycle/standard_cycles.hpp"
+#include "drivecycle/traffic.hpp"
+#include "hvac/defog.hpp"
+#include "util/stats.hpp"
+
+namespace evc {
+namespace {
+
+using namespace evc::drive;
+
+// --- IDM primitives ---
+
+TEST(Idm, FreeRoadAcceleratesTowardDesiredSpeed) {
+  IdmParams p;
+  // Huge gap, no closing speed: pure free-road term.
+  EXPECT_GT(idm_acceleration(p, 5.0, 1e6, 0.0), 0.5);
+  // At the desired speed the free-road acceleration vanishes (up to the
+  // tiny interaction with the remote leader).
+  EXPECT_NEAR(idm_acceleration(p, p.desired_speed_mps, 1e6, 0.0), 0.0, 0.01);
+  // Above it, the model brakes.
+  EXPECT_LT(idm_acceleration(p, 1.2 * p.desired_speed_mps, 1e6, 0.0), 0.0);
+}
+
+TEST(Idm, ShortGapForcesBraking) {
+  IdmParams p;
+  EXPECT_LT(idm_acceleration(p, 15.0, 5.0, 0.0), -1.0);
+}
+
+TEST(Idm, ClosingSpeedAddsAnticipatoryBraking) {
+  IdmParams p;
+  const double steady = idm_acceleration(p, 15.0, 40.0, 0.0);
+  const double closing = idm_acceleration(p, 15.0, 40.0, 5.0);
+  EXPECT_LT(closing, steady);
+}
+
+TEST(Idm, ValidatesParameters) {
+  IdmParams p;
+  p.time_headway_s = 0.0;
+  EXPECT_THROW(idm_acceleration(p, 10.0, 20.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(idm_acceleration(IdmParams{}, 10.0, 0.0, 0.0),
+               std::invalid_argument);
+}
+
+// --- Car following over a standard cycle ---
+
+TEST(FollowLeader, TracksTheLeaderLoosely) {
+  const auto leader = make_cycle_profile(StandardCycle::kUdds, 25.0);
+  const auto ego = follow_leader(leader);
+  ASSERT_EQ(ego.size(), leader.size());
+  // Similar total distance (the follower ends near the leader).
+  EXPECT_NEAR(ego.total_distance_m(), leader.total_distance_m(),
+              0.05 * leader.total_distance_m() + 200.0);
+  // Never reverses, and acceleration stays humanly bounded.
+  for (std::size_t i = 0; i < ego.size(); ++i) {
+    EXPECT_GE(ego[i].speed_mps, 0.0);
+    EXPECT_LT(std::abs(ego[i].accel_mps2), 6.0);
+  }
+}
+
+TEST(FollowLeader, CopiesEnvironmentChannels) {
+  const auto leader = make_cycle_profile(StandardCycle::kSc03, 31.0);
+  const auto ego = follow_leader(leader);
+  for (std::size_t i = 0; i < ego.size(); i += 60) {
+    EXPECT_DOUBLE_EQ(ego[i].ambient_c, 31.0);
+    EXPECT_DOUBLE_EQ(ego[i].slope_percent, 0.0);
+  }
+}
+
+TEST(FollowLeader, NoiseRoughensTheProfile) {
+  const auto leader = make_cycle_profile(StandardCycle::kEceEudc, 25.0);
+  FollowOptions calm;
+  FollowOptions noisy;
+  noisy.leader_noise_mps = 1.5;
+  noisy.seed = 5;
+  const auto ego_calm = follow_leader(leader, calm);
+  const auto ego_noisy = follow_leader(leader, noisy);
+  const auto roughness = [](const DriveProfile& p) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+      acc += std::abs(p[i].accel_mps2);
+    return acc;
+  };
+  EXPECT_GT(roughness(ego_noisy), roughness(ego_calm) * 1.2);
+}
+
+TEST(FollowLeader, DeterministicInSeed) {
+  const auto leader = make_cycle_profile(StandardCycle::kNedc, 25.0);
+  FollowOptions opts;
+  opts.leader_noise_mps = 1.0;
+  opts.seed = 9;
+  const auto a = follow_leader(leader, opts);
+  const auto b = follow_leader(leader, opts);
+  for (std::size_t i = 0; i < a.size(); i += 97)
+    EXPECT_DOUBLE_EQ(a[i].speed_mps, b[i].speed_mps);
+}
+
+TEST(FollowLeader, RejectsBadOptions) {
+  const auto leader = make_cycle_profile(StandardCycle::kSc03, 25.0);
+  FollowOptions opts;
+  opts.initial_gap_m = 1.0;  // below the minimum gap
+  EXPECT_THROW(follow_leader(leader, opts), std::invalid_argument);
+  EXPECT_THROW(follow_leader(DriveProfile{}, FollowOptions{}),
+               std::invalid_argument);
+}
+
+// --- Defog guard ---
+
+TEST(Defog, GlassTemperatureInterpolates) {
+  hvac::DefogParams p;
+  const double glass = hvac::windshield_temp_c(p, 24.0, -10.0);
+  EXPECT_LT(glass, 24.0);
+  EXPECT_GT(glass, -10.0);
+  EXPECT_NEAR(glass, 24.0 - 0.55 * 34.0, 1e-9);
+}
+
+TEST(Defog, ColdGlassPlusHumidCabinFogs) {
+  hvac::DefogParams p;
+  const double humid = hvac::humidity_ratio(24.0, 0.7);
+  // At −10 °C outside the glass sits near 12 °C; dew point of 70 %-RH
+  // cabin air is ~18 °C → fogging.
+  EXPECT_LT(hvac::fog_margin_k(p, 24.0, -10.0, humid), 0.0);
+  // Dry cabin air is safe even on cold glass.
+  const double dry = hvac::humidity_ratio(24.0, 0.2);
+  EXPECT_GT(hvac::fog_margin_k(p, 24.0, -10.0, dry), 0.0);
+}
+
+TEST(Defog, RecirculationCapEngagesOnRisk) {
+  hvac::DefogParams p;
+  const double humid = hvac::humidity_ratio(24.0, 0.7);
+  EXPECT_NEAR(hvac::recirculation_limit(p, 0.9, 24.0, -10.0, humid),
+              p.defog_recirculation_cap, 1e-12);
+  const double dry = hvac::humidity_ratio(24.0, 0.15);
+  EXPECT_NEAR(hvac::recirculation_limit(p, 0.9, 24.0, -10.0, dry), 0.9,
+              1e-12);
+  // Mild weather: full recirculation regardless of humidity.
+  EXPECT_NEAR(hvac::recirculation_limit(p, 0.9, 24.0, 22.0, humid), 0.9,
+              1e-12);
+}
+
+TEST(Defog, ValidatesParameters) {
+  hvac::DefogParams p;
+  p.glass_coupling = 1.5;
+  EXPECT_THROW(hvac::windshield_temp_c(p, 24.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evc

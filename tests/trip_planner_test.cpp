@@ -1,0 +1,172 @@
+// Tests for the trip planner, the power-electronics maps, and the paper's
+// literal SoC-reference MPC cost variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/mpc_formulation.hpp"
+#include "core/simulation.hpp"
+#include "core/trip_planner.hpp"
+#include "drivecycle/standard_cycles.hpp"
+#include "powertrain/power_electronics.hpp"
+
+namespace evc::core {
+namespace {
+
+// --- Power electronics ---
+
+TEST(Inverter, EfficiencyShapeIsPlausible) {
+  pt::TractionInverter inv(80e3);
+  EXPECT_LT(inv.efficiency(1e3), 0.90);    // light load hurts
+  EXPECT_GT(inv.efficiency(40e3), 0.96);   // plateau
+  EXPECT_GT(inv.efficiency(80e3), 0.95);   // full load slightly off peak
+  EXPECT_DOUBLE_EQ(inv.efficiency(20e3), inv.efficiency(-20e3));
+}
+
+TEST(Inverter, ConversionDirections) {
+  pt::TractionInverter inv(80e3);
+  // Motoring: DC side draws more than the AC output.
+  EXPECT_GT(inv.dc_input_power(30e3), 30e3);
+  // Regenerating: DC side receives less than the AC input.
+  EXPECT_LT(inv.dc_recovered_power(30e3), 30e3);
+  EXPECT_DOUBLE_EQ(inv.dc_input_power(0.0), 0.0);
+  EXPECT_THROW(inv.dc_input_power(-1.0), std::invalid_argument);
+}
+
+TEST(DcDc, StandbyLossDominatesLightLoad) {
+  pt::DcDcConverter dcdc(1500.0, 0.93);
+  EXPECT_LT(dcdc.efficiency(20.0), 0.5);   // 20 W load vs 30 W standby
+  EXPECT_GT(dcdc.efficiency(1000.0), 0.85);
+  EXPECT_GT(dcdc.input_power(250.0), 250.0 / 0.93);
+}
+
+// --- Trip planner ---
+
+TEST(TripPlanner, PredictsDecreasingSocAndReachability) {
+  TripPlanner planner{EvParams{}};
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kEceEudc, 35.0);
+  const TripPlan plan = planner.plan(profile, 90.0, 1500.0);
+  ASSERT_EQ(plan.predicted_soc.size(), profile.size());
+  EXPECT_LT(plan.predicted_final_soc, 90.0);
+  EXPECT_GT(plan.predicted_final_soc, 70.0);  // one cycle is far from empty
+  EXPECT_TRUE(plan.reachable);
+  EXPECT_GT(plan.predicted_cycle_avg_soc, plan.predicted_final_soc);
+  EXPECT_LT(plan.predicted_cycle_avg_soc, 90.0);
+  EXPECT_GT(plan.predicted_energy_j, 0.0);
+}
+
+TEST(TripPlanner, FlagsUnreachableTrip) {
+  TripPlanner planner{EvParams{}};
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kUs06, 35.0);
+  // Starting nearly empty, an aggressive cycle is not completable.
+  const TripPlan plan = planner.plan(profile, 7.0, 3000.0);
+  EXPECT_FALSE(plan.reachable);
+}
+
+TEST(TripPlanner, PredictionMatchesSimulationWithinTolerance) {
+  // The planner's constant-HVAC prediction should land near the actual
+  // closed-loop final SoC when fed the steady HVAC estimate.
+  const EvParams params;
+  TripPlanner planner{params};
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kEceEudc, 35.0);
+  const double hvac_est = planner.steady_hvac_power_w(35.0);
+  const TripPlan plan = planner.plan(profile, 90.0, hvac_est);
+
+  ClimateSimulation sim(params);
+  auto fuzzy = make_fuzzy_controller(params);
+  SimulationOptions opts;
+  opts.record_traces = false;
+  const auto result = sim.run(*fuzzy, profile, opts);
+  EXPECT_NEAR(plan.predicted_final_soc, result.metrics.final_soc_percent,
+              1.0);
+}
+
+TEST(TripPlanner, SteadyHvacPowerShape) {
+  TripPlanner planner{EvParams{}};
+  // U-shape in ambient: minimum near the mild point, growing toward both
+  // extremes.
+  const double cold = planner.steady_hvac_power_w(-5.0);
+  const double mild = planner.steady_hvac_power_w(18.0);
+  const double hot = planner.steady_hvac_power_w(40.0);
+  EXPECT_LT(mild, cold);
+  EXPECT_LT(mild, hot);
+  EXPECT_GT(cold, 1000.0);
+  EXPECT_GT(hot, 800.0);
+}
+
+TEST(TripPlanner, RejectsBadInputs) {
+  TripPlanner planner{EvParams{}};
+  EXPECT_THROW(planner.plan(drive::DriveProfile{}, 90.0, 1000.0),
+               std::invalid_argument);
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kSc03, 25.0);
+  EXPECT_THROW(planner.plan(profile, 0.0, 1000.0), std::invalid_argument);
+  EXPECT_THROW(planner.plan(profile, 90.0, -1.0), std::invalid_argument);
+}
+
+// --- SoC-reference cost variant ---
+
+TEST(SocReferenceCost, ReferenceFormIsNotTranslationInvariant) {
+  // Unlike the variance form, the literal (SoC − ref)² cost must change
+  // when all SoC variables shift — that is its defining property.
+  MpcWindowData w;
+  w.dt_s = 5.0;
+  w.initial_cabin_temp_c = 25.0;
+  w.initial_soc_percent = 88.0;
+  w.fixed_power_kw.assign(5, 8.0);
+  w.outside_temp_c.assign(5, 35.0);
+  w.soc_reference = 85.0;
+  MpcFormulation f(hvac::default_hvac_params(), bat::leaf_24kwh_params(),
+                   MpcWeights{}, w);
+  const MpcIndex& idx = f.index();
+  num::Vector z = f.cold_start();
+  const double c0 = f.cost(z);
+  for (std::size_t k = 0; k <= idx.horizon(); ++k) z[idx.soc(k)] += 7.0;
+  EXPECT_GT(std::abs(f.cost(z) - c0), 1.0);
+}
+
+TEST(SocReferenceCost, GradientStillMatchesFiniteDifferences) {
+  MpcWindowData w;
+  w.dt_s = 5.0;
+  w.initial_cabin_temp_c = 25.0;
+  w.initial_soc_percent = 88.0;
+  w.fixed_power_kw.assign(4, 8.0);
+  w.outside_temp_c.assign(4, 35.0);
+  w.soc_reference = 86.5;
+  MpcFormulation f(hvac::default_hvac_params(), bat::leaf_24kwh_params(),
+                   MpcWeights{}, w);
+  const num::Vector z = f.cold_start();
+  const num::Vector g = f.cost_gradient(z);
+  const double c0 = f.cost(z);
+  for (std::size_t j = 0; j < z.size(); ++j) {
+    num::Vector zp = z;
+    zp[j] += 1e-6;
+    EXPECT_NEAR(g[j], (f.cost(zp) - c0) / 1e-6, 1e-3) << "grad[" << j << "]";
+  }
+}
+
+TEST(SocReferenceCost, ControllerRunsWithPlannerReference) {
+  const EvParams params;
+  const auto profile = drive::make_cycle_profile(
+      drive::StandardCycle::kEceEudc, 35.0).window(0, 200);
+  TripPlanner planner{params};
+  const TripPlan plan =
+      planner.plan(profile, 90.0, planner.steady_hvac_power_w(35.0));
+
+  MpcOptions opts;
+  opts.soc_reference = plan.predicted_cycle_avg_soc;
+  ClimateSimulation sim(params);
+  auto mpc = make_mpc_controller(params, opts);
+  SimulationOptions sim_opts;
+  sim_opts.record_traces = false;
+  const auto result = sim.run(*mpc, profile, sim_opts);
+  EXPECT_EQ(mpc->stats().failures, 0u);
+  EXPECT_LT(result.metrics.comfort.fraction_outside, 0.05);
+}
+
+}  // namespace
+}  // namespace evc::core

@@ -1,0 +1,129 @@
+// Unit tests for util: units, interpolation, stats, tables, CSV, RNG.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/interp.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace evc {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(units::kmh_to_mps(36.0), 10.0);
+  EXPECT_DOUBLE_EQ(units::mps_to_kmh(10.0), 36.0);
+  EXPECT_DOUBLE_EQ(units::kwh_to_j(1.0), 3.6e6);
+  EXPECT_DOUBLE_EQ(units::celsius_to_kelvin(0.0), 273.15);
+  EXPECT_DOUBLE_EQ(units::ah_to_coulomb(1.0), 3600.0);
+  // 100 % grade is 45 degrees.
+  EXPECT_NEAR(units::grade_percent_to_angle(100.0), 0.78539816, 1e-7);
+  EXPECT_NEAR(units::grade_percent_to_angle(0.0), 0.0, 1e-12);
+}
+
+TEST(Interp1D, InterpolatesAndClamps) {
+  LookupTable1D t({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(t(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(t(1.5), 25.0);
+  EXPECT_DOUBLE_EQ(t(-3.0), 0.0);   // clamp low
+  EXPECT_DOUBLE_EQ(t(99.0), 40.0);  // clamp high
+  EXPECT_DOUBLE_EQ(t.x_min(), 0.0);
+  EXPECT_DOUBLE_EQ(t.x_max(), 2.0);
+}
+
+TEST(Interp1D, RejectsBadGrids) {
+  EXPECT_THROW(LookupTable1D({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(LookupTable1D({1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(LookupTable1D({0.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Interp2D, BilinearExactOnPlane) {
+  // f(x,y) = 2x + 3y is reproduced exactly by bilinear interpolation.
+  std::vector<double> xs{0, 1, 2}, ys{0, 2};
+  std::vector<double> zs;
+  for (double x : xs)
+    for (double y : ys) zs.push_back(2 * x + 3 * y);
+  LookupTable2D t(xs, ys, zs);
+  EXPECT_NEAR(t(0.5, 1.0), 2 * 0.5 + 3 * 1.0, 1e-12);
+  EXPECT_NEAR(t(1.7, 0.3), 2 * 1.7 + 3 * 0.3, 1e-12);
+  // Clamps outside.
+  EXPECT_NEAR(t(-1, -1), 0.0, 1e-12);
+  EXPECT_NEAR(t(5, 5), 2 * 2 + 3 * 2, 1e-12);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.mean(), mean_of(xs));
+  EXPECT_NEAR(s.stddev(), stddev_of(xs), 1e-12);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);  // population variance
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(rms_of({3.0, 4.0}), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Stats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), std::invalid_argument);
+  EXPECT_THROW(mean_of({}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedRows) {
+  TextTable t({"cycle", "power"});
+  t.add_row({"NEDC", TextTable::num(1.234, 2)});
+  const std::string out = t.render("demo");
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("NEDC"), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_THROW(t.add_row({"too", "many", "cells"}), std::invalid_argument);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "/tmp/evc_csv_test.csv";
+  {
+    CsvWriter w(path, {"t", "v"});
+    w.write_row({0.0, 1.5});
+    w.write_row({1.0, 2.5});
+    EXPECT_EQ(w.rows_written(), 2u);
+    EXPECT_THROW(w.write_row({1.0}), std::invalid_argument);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,1.5");
+  std::remove(path.c_str());
+}
+
+TEST(Random, DeterministicAcrossInstances) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Random, UniformInRange) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Random, NormalMomentsRoughlyCorrect) {
+  SplitMix64 rng(7);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace evc

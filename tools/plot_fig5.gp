@@ -1,0 +1,13 @@
+# gnuplot script: cabin temperature traces (paper Fig. 5).
+# usage: gnuplot -e "csv='fig5_cabin_temperature.csv'" tools/plot_fig5.gp
+if (!exists("csv")) csv = "fig5_cabin_temperature.csv"
+set datafile separator ","
+set key autotitle columnhead
+set xlabel "time [s]"
+set ylabel "cabin temperature [C]"
+set grid
+set term pngcairo size 1100,500
+set output "fig5_cabin_temperature.png"
+plot csv using 1:2 with lines lw 2, \
+     csv using 1:3 with lines lw 2, \
+     csv using 1:4 with lines lw 2

@@ -1,0 +1,15 @@
+# gnuplot script: the precool mechanism (paper Fig. 6) — motor power vs
+# cabin temperature on twin axes.
+# usage: gnuplot -e "csv='fig6_precool.csv'" tools/plot_fig6.gp
+if (!exists("csv")) csv = "fig6_precool.csv"
+set datafile separator ","
+set key autotitle columnhead
+set xlabel "time [s]"
+set ylabel "motor power [kW]"
+set y2label "cabin temperature [C]"
+set y2tics
+set grid
+set term pngcairo size 1100,500
+set output "fig6_precool.png"
+plot csv using 1:($3/1000) with lines lw 1 title "motor power [kW]", \
+     csv using 1:2 with lines lw 2 axes x1y2 title "cabin temperature [C]"
