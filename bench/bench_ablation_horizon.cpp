@@ -26,27 +26,43 @@ int main() {
                    "dSoH [%/cycle]", "SoC dev [%]", "rms Tz err [C]",
                    "sim time [s]", "SQP iters/plan"});
 
-  for (std::size_t horizon : {2u, 4u, 8u, 12u, 16u, 24u}) {
-    std::cerr << "  horizon " << horizon << "...\n";
-    core::MpcOptions mpc_opts;
-    mpc_opts.horizon = horizon;
-    auto mpc = core::make_mpc_controller(params, mpc_opts);
-    const auto start = std::chrono::steady_clock::now();
-    const auto result = sim.run(*mpc, profile, opts);
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-    const auto& m = result.metrics;
-    const auto& stats = mpc->stats();
+  const std::vector<std::size_t> horizons{2, 4, 8, 12, 16, 24};
+  struct HorizonRun {
+    core::TripMetrics metrics;
+    core::MpcPlanStats stats;
+    double step_s = 0.0;
+    double secs = 0.0;
+  };
+  std::cerr << "  running " << horizons.size() << " horizons on "
+            << (rt::ThreadPool::global().size() + 1) << " thread(s)...\n";
+  // ClimateSimulation::run is const; each scenario owns its controller.
+  const auto runs = rt::parallel_map<HorizonRun>(
+      horizons.size(), [&](std::size_t i) {
+        core::MpcOptions mpc_opts;
+        mpc_opts.horizon = horizons[i];
+        auto mpc = core::make_mpc_controller(params, mpc_opts);
+        const auto start = std::chrono::steady_clock::now();
+        const auto result = sim.run(*mpc, profile, opts);
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        return HorizonRun{result.metrics, mpc->stats(), mpc_opts.step_s,
+                          secs};
+      });
+
+  for (std::size_t i = 0; i < horizons.size(); ++i) {
+    const std::size_t horizon = horizons[i];
+    const auto& m = runs[i].metrics;
+    const auto& stats = runs[i].stats;
     table.add_row(
         {TextTable::num(horizon, 0),
-         TextTable::num(static_cast<double>(horizon) * mpc_opts.step_s, 0),
+         TextTable::num(static_cast<double>(horizon) * runs[i].step_s, 0),
          TextTable::num(m.avg_hvac_power_w / 1000.0, 3),
          TextTable::num(m.delta_soh_percent, 6),
          TextTable::num(m.stress.soc_deviation, 3),
          TextTable::num(m.comfort.rms_error_c, 3),
-         TextTable::num(secs, 1),
+         TextTable::num(runs[i].secs, 1),
          TextTable::num(static_cast<double>(stats.sqp_iterations) /
                             static_cast<double>(stats.plans), 1)});
   }

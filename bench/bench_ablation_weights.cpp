@@ -45,13 +45,18 @@ int main() {
 
   TextTable table({"cost variant", "avg HVAC [kW]", "dSoH [%/cycle]",
                    "SoC dev [%]", "rms Tz err [C]"});
-  for (const auto& variant : variants) {
-    std::cerr << "  " << variant.label << "...\n";
-    core::MpcOptions mpc_opts;
-    mpc_opts.weights = variant.weights;
-    auto mpc = core::make_mpc_controller(params, mpc_opts);
-    const auto result = sim.run(*mpc, profile, opts);
-    const auto& m = result.metrics;
+  std::cerr << "  running " << variants.size() << " variants on "
+            << (rt::ThreadPool::global().size() + 1) << " thread(s)...\n";
+  const auto metrics = rt::parallel_map<core::TripMetrics>(
+      variants.size(), [&](std::size_t i) {
+        core::MpcOptions mpc_opts;
+        mpc_opts.weights = variants[i].weights;
+        auto mpc = core::make_mpc_controller(params, mpc_opts);
+        return sim.run(*mpc, profile, opts).metrics;
+      });
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& variant = variants[i];
+    const auto& m = metrics[i];
     table.add_row({variant.label,
                    TextTable::num(m.avg_hvac_power_w / 1000.0, 3),
                    TextTable::num(m.delta_soh_percent, 6),

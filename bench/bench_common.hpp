@@ -15,6 +15,7 @@
 
 #include "core/experiment.hpp"
 #include "drivecycle/standard_cycles.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/table.hpp"
 
 namespace evc::bench {
@@ -49,14 +50,16 @@ inline CycleComparison run_cycle_comparison(drive::StandardCycle cycle,
                          runs[1].metrics, runs[2].metrics};
 }
 
-/// Run all five cycles of Fig. 7/8.
+/// Run all five cycles of Fig. 7/8, one scenario per pool worker. Each
+/// scenario owns its controllers, so results are identical to the serial
+/// loop (set EVC_THREADS=1 to force serial execution).
 inline std::vector<CycleComparison> run_all_cycles(double ambient_c) {
-  std::vector<CycleComparison> out;
-  for (auto cycle : drive::all_standard_cycles()) {
-    std::cerr << "  running " << drive::cycle_name(cycle) << "...\n";
-    out.push_back(run_cycle_comparison(cycle, ambient_c));
-  }
-  return out;
+  const auto cycles = drive::all_standard_cycles();
+  std::cerr << "  running " << cycles.size() << " cycles on "
+            << (rt::ThreadPool::global().size() + 1) << " thread(s)...\n";
+  return rt::parallel_map<CycleComparison>(
+      cycles.size(),
+      [&](std::size_t i) { return run_cycle_comparison(cycles[i], ambient_c); });
 }
 
 }  // namespace evc::bench

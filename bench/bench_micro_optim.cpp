@@ -48,6 +48,25 @@ void BM_QpSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_QpSolve)->Arg(20)->Arg(60)->Arg(134);
 
+// Same QP through a persistent workspace with the previous solution as a
+// warm start — the receding-horizon usage pattern (allocation-free at
+// steady state).
+void BM_QpSolveWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = random_qp(n, 2 * n, 42);
+  opt::QpWorkspace ws;
+  opt::QpWarmStart warm;
+  for (auto _ : state) {
+    const auto result =
+        opt::solve_qp(problem, {}, ws, warm.empty() ? nullptr : &warm);
+    benchmark::DoNotOptimize(result);
+    warm.x = result.x;
+    warm.y_eq = result.y_eq;
+    warm.z_ineq = result.z_ineq;
+  }
+}
+BENCHMARK(BM_QpSolveWorkspace)->Arg(20)->Arg(60)->Arg(134);
+
 core::MpcFormulation make_window_formulation(std::size_t horizon) {
   core::MpcWindowData w;
   w.dt_s = 5.0;
@@ -89,6 +108,26 @@ void BM_MpcPlanStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MpcPlanStep)->Unit(benchmark::kMillisecond);
+
+// Steady-state replanning: each decide() is a fresh plan (time advances one
+// control period) but warm-started from the previous plan's shifted primal
+// and carried QP duals.
+void BM_MpcPlanStepWarm(benchmark::State& state) {
+  core::MpcClimateController mpc(hvac::default_hvac_params(),
+                                 bat::leaf_24kwh_params());
+  ctl::ControlContext c;
+  c.dt_s = 1.0;
+  c.cabin_temp_c = 25.0;
+  c.outside_temp_c = 35.0;
+  c.soc_percent = 88.0;
+  c.motor_power_forecast_w.assign(120, 9e3);
+  c.outside_temp_forecast_c.assign(120, 35.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpc.decide(c));
+    c.time_s += mpc.options().step_s;  // next call replans
+  }
+}
+BENCHMARK(BM_MpcPlanStepWarm)->Unit(benchmark::kMillisecond);
 
 void BM_HvacPlantStep(benchmark::State& state) {
   hvac::HvacPlant plant(hvac::default_hvac_params(), 25.0);

@@ -1,0 +1,208 @@
+// Solver perf envelope — machine-readable.
+//
+// Times the optimization hot path (dense QP, SQP on one MPC window, warm
+// receding-horizon planning) and emits per-bench wall time plus the QP
+// workspace's perf counters as JSON (BENCH_solver.json in CI). Unlike
+// bench_micro_optim (google-benchmark, human-oriented), this harness is
+// plain chrono so the output schema is ours and diffable across runs:
+//   { "benches": [ {"name", "reps", "wall_ns", "ns_per_rep",
+//                   "solver": {<QpPerfCounters>}, ...}, ... ] }
+//
+// Usage: bench_solver_perf [--out PATH]   (default BENCH_solver.json)
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "battery/battery_params.hpp"
+#include "core/metrics_json.hpp"
+#include "core/mpc_controller.hpp"
+#include "hvac/hvac_params.hpp"
+#include "optim/qp.hpp"
+#include "optim/sqp.hpp"
+#include "util/json.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace evc;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+opt::QpProblem random_qp(std::size_t n, std::size_t mi, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  opt::QpProblem p;
+  num::Matrix g(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.uniform(-1, 1);
+  p.h = g.transposed() * g;
+  for (std::size_t i = 0; i < n; ++i) p.h(i, i) += 1.0;
+  p.g = num::Vector(n);
+  for (std::size_t i = 0; i < n; ++i) p.g[i] = rng.uniform(-2, 2);
+  p.e_mat = num::Matrix(0, n);
+  p.e_vec = num::Vector(0);
+  p.a_mat = num::Matrix(mi, n);
+  p.b_vec = num::Vector(mi);
+  for (std::size_t r = 0; r < mi; ++r) {
+    for (std::size_t c = 0; c < n; ++c) p.a_mat(r, c) = rng.uniform(-1, 1);
+    p.b_vec[r] = rng.uniform(0.5, 2.0);
+  }
+  return p;
+}
+
+core::MpcFormulation make_window_formulation(std::size_t horizon) {
+  core::MpcWindowData w;
+  w.dt_s = 5.0;
+  w.initial_cabin_temp_c = 25.5;
+  w.initial_soc_percent = 88.0;
+  w.fixed_power_kw.assign(horizon, 9.0);
+  w.outside_temp_c.assign(horizon, 35.0);
+  return core::MpcFormulation(hvac::default_hvac_params(),
+                              bat::leaf_24kwh_params(), core::MpcWeights{},
+                              w);
+}
+
+void write_counters(JsonWriter& json, const opt::QpPerfCounters& c) {
+  const auto count = [](std::size_t v) { return static_cast<long>(v); };
+  json.begin_object();
+  json.key("solves").value(count(c.solves));
+  json.key("ipm_iterations").value(count(c.ipm_iterations));
+  json.key("factorizations").value(count(c.factorizations));
+  json.key("schur_solves").value(count(c.schur_solves));
+  json.key("dense_fallbacks").value(count(c.dense_fallbacks));
+  json.key("warm_starts").value(count(c.warm_starts));
+  json.key("workspace_growths").value(count(c.workspace_growths));
+  json.key("peak_workspace_bytes").value(count(c.peak_workspace_bytes));
+  json.end_object();
+}
+
+void write_bench_header(JsonWriter& json, const std::string& name,
+                        std::size_t reps, std::uint64_t wall_ns) {
+  json.begin_object();
+  json.key("name").value(name);
+  json.key("reps").value(static_cast<long>(reps));
+  json.key("wall_ns").value(static_cast<long>(wall_ns));
+  json.key("ns_per_rep")
+      .value(static_cast<long>(wall_ns / (reps > 0 ? reps : 1)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_solver.json";
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("evclimate-solver-bench-v1");
+  json.key("benches");
+  json.begin_array();
+
+  // Dense QP, fresh workspace per solve (the legacy entry point).
+  {
+    const std::size_t n = 60;
+    const auto problem = random_qp(n, 2 * n, 42);
+    const std::size_t reps = 20;
+    const auto start = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+      const auto result = opt::solve_qp(problem);
+      if (!result.usable()) return 1;
+    }
+    write_bench_header(json, "qp_dense_n60_cold", reps, ns_since(start));
+    json.end_object();
+    std::cerr << "  qp_dense_n60_cold done\n";
+  }
+
+  // Dense QP, persistent workspace + warm start from the previous solve —
+  // the receding-horizon pattern. workspace_growths stays at the first
+  // solve's value: the steady-state loop is allocation-free.
+  {
+    const std::size_t n = 60;
+    const auto problem = random_qp(n, 2 * n, 42);
+    const std::size_t reps = 20;
+    opt::QpWorkspace ws;
+    opt::QpWarmStart warm;
+    const auto start = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+      const auto result =
+          opt::solve_qp(problem, {}, ws, warm.empty() ? nullptr : &warm);
+      if (!result.usable()) return 1;
+      warm.x = result.x;
+      warm.y_eq = result.y_eq;
+      warm.z_ineq = result.z_ineq;
+    }
+    write_bench_header(json, "qp_dense_n60_workspace", reps,
+                       ns_since(start));
+    json.key("solver");
+    write_counters(json, ws.counters());
+    json.end_object();
+    std::cerr << "  qp_dense_n60_workspace done\n";
+  }
+
+  // SQP on one MPC window, duals chained across solves.
+  {
+    const auto f = make_window_formulation(12);
+    core::MpcOptions opts;
+    const opt::SqpSolver solver(opts.sqp);
+    const num::Vector z0 = f.cold_start();
+    const std::size_t reps = 20;
+    opt::SqpWarmStart warm;
+    const auto start = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+      const auto result =
+          solver.solve(f, z0, warm.empty() ? nullptr : &warm);
+      if (!result.usable()) return 1;
+      warm.y_eq = result.y_eq;
+      warm.z_ineq = result.z_ineq;
+    }
+    write_bench_header(json, "sqp_mpc_window_h12", reps, ns_since(start));
+    json.key("solver");
+    write_counters(json, solver.qp_counters());
+    json.end_object();
+    std::cerr << "  sqp_mpc_window_h12 done\n";
+  }
+
+  // Warm receding-horizon planning: the controller replans every step_s
+  // with shifted primal + carried duals, exactly the closed-loop hot path.
+  {
+    core::MpcClimateController mpc(hvac::default_hvac_params(),
+                                   bat::leaf_24kwh_params());
+    ctl::ControlContext c;
+    c.dt_s = 1.0;
+    c.cabin_temp_c = 25.0;
+    c.outside_temp_c = 35.0;
+    c.soc_percent = 88.0;
+    c.motor_power_forecast_w.assign(120, 9e3);
+    c.outside_temp_forecast_c.assign(120, 35.0);
+    const std::size_t plans = 40;
+    const auto start = Clock::now();
+    for (std::size_t r = 0; r < plans; ++r) {
+      mpc.decide(c);
+      c.time_s += mpc.options().step_s;  // next call replans
+    }
+    write_bench_header(json, "mpc_plan_step_warm", plans, ns_since(start));
+    json.key("mpc").raw_value(core::to_json(mpc.stats()));
+    json.end_object();
+    std::cerr << "  mpc_plan_step_warm done\n";
+  }
+
+  json.end_array();
+  json.end_object();
+
+  const std::string doc = json.str();
+  std::ofstream out(out_path);
+  out << doc << "\n";
+  if (!out) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << doc << "\n";
+  return 0;
+}

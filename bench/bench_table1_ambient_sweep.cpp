@@ -17,10 +17,17 @@ int main() {
                    std::string(bench::kOurs) + " [kW]",
                    "dSoH impr vs On/Off [%]", "dSoH impr vs Fuzzy [%]"});
 
-  for (double ambient : ambients) {
-    std::cerr << "  ambient " << ambient << " C...\n";
-    const auto c =
-        bench::run_cycle_comparison(drive::StandardCycle::kEceEudc, ambient);
+  std::cerr << "  running " << ambients.size() << " ambients on "
+            << (rt::ThreadPool::global().size() + 1) << " thread(s)...\n";
+  const auto comparisons = rt::parallel_map<bench::CycleComparison>(
+      ambients.size(), [&](std::size_t i) {
+        return bench::run_cycle_comparison(drive::StandardCycle::kEceEudc,
+                                           ambients[i]);
+      });
+
+  for (std::size_t i = 0; i < ambients.size(); ++i) {
+    const double ambient = ambients[i];
+    const auto& c = comparisons[i];
     table.add_row(
         {TextTable::num(ambient, 0),
          TextTable::num(c.onoff.avg_hvac_power_w / 1000.0, 2),

@@ -6,11 +6,17 @@
 
 #include "core/experiment.hpp"
 #include "core/metrics.hpp"
+#include "core/mpc_controller.hpp"
 
 namespace evc::core {
 
 /// One TripMetrics as a JSON object string.
 std::string to_json(const TripMetrics& metrics);
+
+/// MPC planning/solver telemetry (plans, iterations, solve wall time, QP
+/// workspace counters) as a JSON object string — the machine-readable form
+/// consumed by the perf benches and CI artifacts.
+std::string to_json(const MpcPlanStats& stats);
 
 /// A controller comparison (e.g. from compare_controllers) as a JSON array
 /// of {controller, metrics} objects.

@@ -1,6 +1,7 @@
 #include "core/mpc_controller.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/expect.hpp"
@@ -20,10 +21,13 @@ MpcClimateController::MpcClimateController(hvac::HvacParams hvac_params,
 
 void MpcClimateController::reset() {
   last_solution_.reset();
+  last_duals_.y_eq.assign(0, 0.0);
+  last_duals_.z_ineq.assign(0, 0.0);
   held_input_.reset();
   next_plan_time_s_ = 0.0;
   planned_soc_.clear();
   stats_ = MpcPlanStats{};
+  solver_.reset_qp_counters();
 }
 
 MpcWindowData MpcClimateController::make_window(
@@ -122,9 +126,21 @@ hvac::HvacInputs MpcClimateController::decide(
   const num::Vector z0 = warm_start(formulation);
 
   ++stats_.plans;
-  const opt::SqpResult result = solver_.solve(formulation, z0);
+  // Previous plan's QP multipliers seed the first subproblem's duals; the
+  // primal shift above already seeds the iterate. Stale duals (after a
+  // failed plan) are empty and degrade to a cold start.
+  const opt::SqpWarmStart* duals =
+      last_duals_.empty() ? nullptr : &last_duals_;
+  if (duals != nullptr) ++stats_.dual_warm_starts;
+  const auto t0 = std::chrono::steady_clock::now();
+  const opt::SqpResult result = solver_.solve(formulation, z0, duals);
+  const auto t1 = std::chrono::steady_clock::now();
+  stats_.solve_time_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
   stats_.sqp_iterations += result.iterations;
   stats_.qp_iterations += result.qp_iterations_total;
+  stats_.solver = solver_.qp_counters();
+  stats_.solver_workspace_bytes = solver_.workspace_bytes();
 
   hvac::HvacInputs input;
   if (result.usable() && result.constraint_violation < 0.5) {
@@ -134,6 +150,8 @@ hvac::HvacInputs MpcClimateController::decide(
     input.recirculation = result.x[idx.dr(0)];
     input.air_flow_kg_s = result.x[idx.mz(0)];
     last_solution_ = result.x;
+    last_duals_.y_eq = result.y_eq;
+    last_duals_.z_ineq = result.z_ineq;
     planned_soc_.assign(idx.horizon() + 1, 0.0);
     for (std::size_t k = 0; k <= idx.horizon(); ++k)
       planned_soc_[k] = result.x[idx.soc(k)];
@@ -141,6 +159,8 @@ hvac::HvacInputs MpcClimateController::decide(
     ++stats_.failures;
     input = fallback_inputs(context);
     last_solution_.reset();  // stale plans make poor warm starts
+    last_duals_.y_eq.assign(0, 0.0);
+    last_duals_.z_ineq.assign(0, 0.0);
   }
 
   held_input_ = input;

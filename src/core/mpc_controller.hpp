@@ -5,12 +5,15 @@
 //      the MPC's coarser step (Algorithm 1 lines 14–15),
 //   2. assembles the bilinear optimal-control problem (MpcFormulation),
 //   3. solves it with SQP, warm-started from the previous plan shifted by
-//      one step (line 16),
+//      one step (line 16) and from the previous plan's QP multipliers
+//      (the constraint structure is identical across receding-horizon
+//      steps, so the duals transfer directly),
 //   4. applies the first input of the optimal plan (line 18).
 // Between planning instants the last applied input is held (zero-order
 // hold), which is what makes the controller real-time viable.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "battery/battery_params.hpp"
@@ -48,12 +51,18 @@ struct MpcOptions {
   }
 };
 
-/// Planning telemetry for tests/benches.
+/// Planning telemetry for tests/benches. `solver` aggregates the QP
+/// workspace's perf counters (interior-point iterations, factorizations,
+/// warm starts, workspace growth/peak bytes) over every plan since reset.
 struct MpcPlanStats {
   std::size_t plans = 0;
   std::size_t failures = 0;  ///< SQP could not produce a usable plan
   std::size_t sqp_iterations = 0;
   std::size_t qp_iterations = 0;
+  std::uint64_t solve_time_ns = 0;  ///< wall time spent inside SQP solves
+  std::size_t dual_warm_starts = 0; ///< plans seeded with previous duals
+  opt::QpPerfCounters solver;
+  std::size_t solver_workspace_bytes = 0;
 };
 
 class MpcClimateController : public ctl::ClimateController {
@@ -82,6 +91,7 @@ class MpcClimateController : public ctl::ClimateController {
   opt::SqpSolver solver_;
 
   std::optional<num::Vector> last_solution_;
+  opt::SqpWarmStart last_duals_;
   std::optional<hvac::HvacInputs> held_input_;
   double next_plan_time_s_ = 0.0;
   std::vector<double> planned_soc_;

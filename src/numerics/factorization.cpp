@@ -11,9 +11,12 @@ namespace {
 constexpr double kPivotTol = 1e-13;
 }
 
-LuFactorization::LuFactorization(const Matrix& a)
-    : n_(a.rows()), lu_(a), perm_(a.rows()) {
+bool LuFactorization::factorize(const Matrix& a) {
   EVC_EXPECT(a.rows() == a.cols(), "LU requires a square matrix");
+  n_ = a.rows();
+  lu_.copy_from(a);
+  perm_.resize(n_);
+  perm_sign_ = 1;
   for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
 
   // Scale reference for the singularity test: relative to the matrix norm.
@@ -34,7 +37,7 @@ LuFactorization::LuFactorization(const Matrix& a)
     // Inverted test so a NaN pivot (poisoned input matrix) also fails.
     if (!(piv_val > kPivotTol * scale)) {
       ok_ = false;
-      return;
+      return ok_;
     }
     if (piv != k) {
       for (std::size_t c = 0; c < n_; ++c)
@@ -50,12 +53,14 @@ LuFactorization::LuFactorization(const Matrix& a)
       for (std::size_t c = k + 1; c < n_; ++c) lu_(r, c) -= m * lu_(k, c);
     }
   }
+  return ok_;
 }
 
-Vector LuFactorization::solve(const Vector& b) const {
+void LuFactorization::solve_into(const Vector& b, Vector& x) const {
   EVC_EXPECT(ok_, "solve on a singular LU factorization");
   EVC_EXPECT(b.size() == n_, "LU solve dimension mismatch");
-  Vector x(n_);
+  EVC_EXPECT(&b != &x, "LU solve_into output aliases input");
+  x.resize(n_);
   // Forward: L·y = P·b (unit lower triangular).
   for (std::size_t i = 0; i < n_; ++i) {
     double acc = b[perm_[i]];
@@ -68,6 +73,11 @@ Vector LuFactorization::solve(const Vector& b) const {
     for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
     x[ii] = acc / lu_(ii, ii);
   }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  Vector x(n_);
+  solve_into(b, x);
   return x;
 }
 
@@ -78,16 +88,18 @@ double LuFactorization::determinant() const {
   return det;
 }
 
-CholeskyFactorization::CholeskyFactorization(const Matrix& a)
-    : n_(a.rows()), l_(a.rows(), a.cols()) {
+bool CholeskyFactorization::factorize(const Matrix& a) {
   EVC_EXPECT(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  n_ = a.rows();
+  l_.resize(n_, n_);
   ok_ = true;
   for (std::size_t j = 0; j < n_; ++j) {
     double diag = a(j, j);
     for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
-    if (diag <= 0.0) {
+    // Inverted test so a NaN diagonal also fails.
+    if (!(diag > 0.0)) {
       ok_ = false;
-      return;
+      return ok_;
     }
     l_(j, j) = std::sqrt(diag);
     const double inv = 1.0 / l_(j, j);
@@ -97,23 +109,66 @@ CholeskyFactorization::CholeskyFactorization(const Matrix& a)
       l_(i, j) = acc * inv;
     }
   }
+  return ok_;
+}
+
+void CholeskyFactorization::solve_into(const Vector& b, Vector& x) const {
+  EVC_EXPECT(ok_, "solve on a failed Cholesky factorization");
+  EVC_EXPECT(b.size() == n_, "Cholesky solve dimension mismatch");
+  if (&x != &b) {
+    x.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) x[i] = b[i];
+  }
+  // Forward: L·y = b, overwriting x sequentially.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * x[j];
+    x[i] = acc / l_(i, i);
+  }
+  // Backward: Lᵀ·x = y, column-sweep form — reads *rows* of L, which are
+  // contiguous in row-major storage (the naive gather form strides down a
+  // column per element and defeats the cache).
+  for (std::size_t jj = n_; jj-- > 0;) {
+    const double xj = x[jj] / l_(jj, jj);
+    x[jj] = xj;
+    if (xj == 0.0) continue;
+    for (std::size_t i = 0; i < jj; ++i) x[i] -= l_(jj, i) * xj;
+  }
+}
+
+void CholeskyFactorization::forward_block_in_place(Matrix& b) const {
+  EVC_EXPECT(ok_, "block solve on a failed Cholesky factorization");
+  EVC_EXPECT(b.rows() == n_, "Cholesky block solve dimension mismatch");
+  const std::size_t k = b.cols();
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double lij = l_(i, j);
+      if (lij == 0.0) continue;
+      for (std::size_t c = 0; c < k; ++c) b(i, c) -= lij * b(j, c);
+    }
+    const double inv = 1.0 / l_(i, i);
+    for (std::size_t c = 0; c < k; ++c) b(i, c) *= inv;
+  }
+}
+
+void CholeskyFactorization::backward_block_in_place(Matrix& b) const {
+  EVC_EXPECT(ok_, "block solve on a failed Cholesky factorization");
+  EVC_EXPECT(b.rows() == n_, "Cholesky block solve dimension mismatch");
+  const std::size_t k = b.cols();
+  for (std::size_t j = n_; j-- > 0;) {
+    const double inv = 1.0 / l_(j, j);
+    for (std::size_t c = 0; c < k; ++c) b(j, c) *= inv;
+    for (std::size_t i = 0; i < j; ++i) {
+      const double lji = l_(j, i);
+      if (lji == 0.0) continue;
+      for (std::size_t c = 0; c < k; ++c) b(i, c) -= lji * b(j, c);
+    }
+  }
 }
 
 Vector CholeskyFactorization::solve(const Vector& b) const {
-  EVC_EXPECT(ok_, "solve on a failed Cholesky factorization");
-  EVC_EXPECT(b.size() == n_, "Cholesky solve dimension mismatch");
-  Vector y(n_);
-  for (std::size_t i = 0; i < n_; ++i) {
-    double acc = b[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
-    y[i] = acc / l_(i, i);
-  }
   Vector x(n_);
-  for (std::size_t ii = n_; ii-- > 0;) {
-    double acc = y[ii];
-    for (std::size_t j = ii + 1; j < n_; ++j) acc -= l_(j, ii) * x[j];
-    x[ii] = acc / l_(ii, ii);
-  }
+  solve_into(b, x);
   return x;
 }
 

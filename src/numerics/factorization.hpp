@@ -9,6 +9,12 @@
 // Both report singularity through `ok()` instead of throwing: the solvers
 // treat a singular KKT matrix as a recoverable condition (they regularize
 // and retry).
+//
+// Both support refactorization into preallocated workspace: default-construct
+// once, then call `factorize()` per iteration — the internal storage is
+// reused whenever the dimension allows, so steady-state refactorization
+// performs no heap allocation. `solve_into` writes the solution into a
+// caller-provided buffer for the same reason.
 #pragma once
 
 #include <cstddef>
@@ -21,8 +27,14 @@ namespace evc::num {
 
 class LuFactorization {
  public:
+  /// Empty factorization; call factorize() before solve().
+  LuFactorization() = default;
   /// Factor A = P·L·U. `A` must be square.
-  explicit LuFactorization(const Matrix& a);
+  explicit LuFactorization(const Matrix& a) { factorize(a); }
+
+  /// (Re)factor A = P·L·U into this object's workspace, reusing storage.
+  /// Returns ok().
+  bool factorize(const Matrix& a);
 
   /// False if a pivot collapsed below tolerance (singular to working
   /// precision); `solve` must not be called in that case.
@@ -30,7 +42,16 @@ class LuFactorization {
   std::size_t dim() const { return n_; }
 
   Vector solve(const Vector& b) const;
+  /// Solve A·x = b into `x` (resized; must not alias `b` — the row
+  /// permutation reads b out of order).
+  void solve_into(const Vector& b, Vector& x) const;
   double determinant() const;
+
+  /// Bytes of factorization storage currently held.
+  std::size_t workspace_bytes() const {
+    return lu_.capacity() * sizeof(double) +
+           perm_.capacity() * sizeof(std::size_t);
+  }
 
  private:
   std::size_t n_ = 0;
@@ -42,13 +63,34 @@ class LuFactorization {
 
 class CholeskyFactorization {
  public:
+  /// Empty factorization; call factorize() before solve().
+  CholeskyFactorization() = default;
   /// Factor A = L·Lᵀ. `A` must be square and symmetric; `ok()` is false if
   /// A is not (numerically) positive definite.
-  explicit CholeskyFactorization(const Matrix& a);
+  explicit CholeskyFactorization(const Matrix& a) { factorize(a); }
+
+  /// (Re)factor A = L·Lᵀ into this object's workspace, reusing storage.
+  /// Returns ok().
+  bool factorize(const Matrix& a);
 
   bool ok() const { return ok_; }
   std::size_t dim() const { return n_; }
   Vector solve(const Vector& b) const;
+  /// Solve A·x = b into `x` (resized; aliasing `b` is allowed — the
+  /// triangular sweeps overwrite sequentially).
+  void solve_into(const Vector& b, Vector& x) const;
+
+  /// Solve L·Y = B in place, one right-hand side per *column* of B (n×k).
+  /// Row-oriented sweeps keep every inner loop contiguous, which is what
+  /// makes many-rhs solves (the Schur complement's K⁻¹Eᵀ) fast.
+  void forward_block_in_place(Matrix& b) const;
+  /// Solve Lᵀ·X = Y in place; completes forward_block_in_place so that
+  /// B becomes A⁻¹ of the original block.
+  void backward_block_in_place(Matrix& b) const;
+
+  std::size_t workspace_bytes() const {
+    return l_.capacity() * sizeof(double);
+  }
 
  private:
   std::size_t n_ = 0;

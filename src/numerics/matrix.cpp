@@ -13,6 +13,20 @@ Matrix Matrix::identity(std::size_t n) {
   return m;
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+void Matrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Matrix::copy_from(const Matrix& src) {
+  rows_ = src.rows_;
+  cols_ = src.cols_;
+  data_.assign(src.data_.begin(), src.data_.end());
+}
+
 double& Matrix::at(std::size_t r, std::size_t c) {
   EVC_EXPECT(r < rows_ && c < cols_, "Matrix::at out of range");
   return (*this)(r, c);

@@ -19,6 +19,16 @@ class Matrix {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
+  /// Elements the backing store can hold without reallocating.
+  std::size_t capacity() const { return data_.capacity(); }
+
+  /// Set dimensions and zero every element. Reuses the backing store when
+  /// capacity suffices — the workspace-reuse primitive.
+  void resize(std::size_t rows, std::size_t cols);
+  /// Zero every element, keeping dimensions.
+  void set_zero();
+  /// dst := src, reusing this matrix's backing store when adequate.
+  void copy_from(const Matrix& src);
 
   double& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];

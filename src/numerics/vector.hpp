@@ -20,6 +20,14 @@ class Vector {
 
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
+  /// Elements the backing store can hold without reallocating.
+  std::size_t capacity() const { return data_.capacity(); }
+
+  /// Resize preserving existing elements (new elements zero). Reuses the
+  /// backing store when capacity suffices — the workspace-reuse primitive.
+  void resize(std::size_t n) { data_.resize(n, 0.0); }
+  /// Resize and overwrite every element with `fill` (reuses capacity).
+  void assign(std::size_t n, double fill) { data_.assign(n, fill); }
   double& operator[](std::size_t i) { return data_[i]; }
   double operator[](std::size_t i) const { return data_[i]; }
   /// Bounds-checked access (throws on misuse).

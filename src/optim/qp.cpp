@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "numerics/factorization.hpp"
+#include "numerics/kernels.hpp"
 #include "util/expect.hpp"
 
 namespace evc::opt {
@@ -37,29 +37,37 @@ std::string to_string(QpStatus status) {
   return "unknown";
 }
 
-namespace {
-
-struct Residuals {
-  num::Vector dual;  // Hx + g + Eᵀy + Aᵀz
-  num::Vector eq;    // Ex − e
-  num::Vector ineq;  // Ax + s − b
-  double inf_norm() const {
-    return std::max({dual.norm_inf(), eq.empty() ? 0.0 : eq.norm_inf(),
-                     ineq.empty() ? 0.0 : ineq.norm_inf()});
-  }
-};
-
-Residuals compute_residuals(const QpProblem& p, const num::Matrix& h,
-                            const num::Vector& x, const num::Vector& y,
-                            const num::Vector& z, const num::Vector& s) {
-  Residuals r;
-  r.dual = h * x + p.g;
-  if (p.num_eq() > 0) r.dual += p.e_mat.transpose_times(y);
-  if (p.num_ineq() > 0) r.dual += p.a_mat.transpose_times(z);
-  if (p.num_eq() > 0) r.eq = p.e_mat * x - p.e_vec;
-  if (p.num_ineq() > 0) r.ineq = p.a_mat * x + s - p.b_vec;
-  return r;
+QpPerfCounters& QpPerfCounters::operator+=(const QpPerfCounters& rhs) {
+  solves += rhs.solves;
+  ipm_iterations += rhs.ipm_iterations;
+  factorizations += rhs.factorizations;
+  schur_solves += rhs.schur_solves;
+  dense_fallbacks += rhs.dense_fallbacks;
+  warm_starts += rhs.warm_starts;
+  workspace_growths += rhs.workspace_growths;
+  peak_workspace_bytes = std::max(peak_workspace_bytes,
+                                  rhs.peak_workspace_bytes);
+  return *this;
 }
+
+std::size_t QpWorkspace::bytes() const {
+  const std::size_t vec_elems =
+      x_.capacity() + y_.capacity() + z_.capacity() + s_.capacity() +
+      best_x_.capacity() + best_y_.capacity() + best_z_.capacity() +
+      r_dual_.capacity() + r_eq_.capacity() + r_eq_neg_.capacity() +
+      r_ineq_.capacity() + tmp_mi_.capacity() + rhs1_.capacity() +
+      rhs_.capacity() + sol_.capacity() + hx_.capacity() +
+      dx_aff_.capacity() + dy_aff_.capacity() + ds_aff_.capacity() +
+      dz_aff_.capacity() + dx_.capacity() + dy_.capacity() + ds_.capacity() +
+      dz_.capacity() + rc_.capacity();
+  return (vec_elems + h_reg_.capacity() + k_mat_.capacity() +
+          kkt_.capacity() + a_val_.capacity()) *
+             sizeof(double) +
+         (a_row_ptr_.capacity() + a_col_.capacity()) * sizeof(std::size_t) +
+         schur_.workspace_bytes() + lu_.workspace_bytes();
+}
+
+namespace {
 
 // Largest α in (0, 1] with v + α·dv ≥ (1−tau)·v elementwise (v > 0).
 double max_step(const num::Vector& v, const num::Vector& dv, double tau) {
@@ -70,21 +78,98 @@ double max_step(const num::Vector& v, const num::Vector& dv, double tau) {
   return alpha;
 }
 
-double objective_of(const QpProblem& p, const num::Vector& x) {
-  return 0.5 * x.dot(p.h * x) + p.g.dot(x);
-}
-
 }  // namespace
 
 QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
+  QpWorkspace workspace;
+  return solve_qp(problem, options, workspace, nullptr);
+}
+
+QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
+                  QpWorkspace& ws, const QpWarmStart* warm_start) {
   problem.validate();
   const std::size_t n = problem.num_vars();
   const std::size_t me = problem.num_eq();
   const std::size_t mi = problem.num_ineq();
 
-  num::Matrix h = problem.h;
-  h.symmetrize();
-  for (std::size_t i = 0; i < n; ++i) h(i, i) += options.regularization;
+  const std::size_t bytes_before = ws.bytes();
+  ++ws.counters_.solves;
+
+  // Symmetrized, regularized Hessian (reused by residuals and assembly).
+  ws.h_reg_.copy_from(problem.h);
+  ws.h_reg_.symmetrize();
+  for (std::size_t i = 0; i < n; ++i)
+    ws.h_reg_(i, i) += options.regularization;
+
+  // Compressed-sparse-row view of A: MPC inequality rows are bounds and
+  // small couplings (1–3 nonzeros), so the barrier assembly and every A·v
+  // product below run over nonzeros only.
+  ws.a_row_ptr_.resize(mi + 1);
+  ws.a_col_.clear();
+  ws.a_val_.clear();
+  for (std::size_t r = 0; r < mi; ++r) {
+    ws.a_row_ptr_[r] = ws.a_col_.size();
+    for (std::size_t c = 0; c < n; ++c) {
+      const double v = problem.a_mat(r, c);
+      if (v != 0.0) {
+        ws.a_col_.push_back(c);
+        ws.a_val_.push_back(v);
+      }
+    }
+  }
+  if (mi > 0) ws.a_row_ptr_[mi] = ws.a_col_.size();
+
+  // row-sparse products over the CSR view
+  const auto csr_dot_row = [&ws](std::size_t r, const num::Vector& v) {
+    double acc = 0.0;
+    for (std::size_t k = ws.a_row_ptr_[r]; k < ws.a_row_ptr_[r + 1]; ++k)
+      acc += ws.a_val_[k] * v[ws.a_col_[k]];
+    return acc;
+  };
+  // out += Aᵀ·w
+  const auto csr_add_at = [&ws, mi](const num::Vector& w, num::Vector& out) {
+    for (std::size_t r = 0; r < mi; ++r) {
+      const double wr = w[r];
+      if (wr == 0.0) continue;
+      for (std::size_t k = ws.a_row_ptr_[r]; k < ws.a_row_ptr_[r + 1]; ++k)
+        out[ws.a_col_[k]] += ws.a_val_[k] * wr;
+    }
+  };
+
+  // r_dual = H x + g + Eᵀy + Aᵀz; r_eq = E x − e; r_ineq = A x + s − b.
+  const auto compute_residuals = [&](const num::Vector& x,
+                                     const num::Vector& y,
+                                     const num::Vector& z,
+                                     const num::Vector& s) {
+    num::gemv(1.0, ws.h_reg_, x, 0.0, ws.r_dual_);
+    ws.r_dual_ += problem.g;
+    if (me > 0) num::gemv_t(1.0, problem.e_mat, y, 1.0, ws.r_dual_);
+    if (mi > 0) csr_add_at(z, ws.r_dual_);
+    if (me > 0) {
+      num::gemv(1.0, problem.e_mat, x, 0.0, ws.r_eq_);
+      ws.r_eq_ -= problem.e_vec;
+    } else {
+      ws.r_eq_.assign(0, 0.0);
+    }
+    ws.r_ineq_.resize(mi);
+    for (std::size_t r = 0; r < mi; ++r)
+      ws.r_ineq_[r] = csr_dot_row(r, x) + s[r] - problem.b_vec[r];
+  };
+  const auto residual_inf = [&]() {
+    return std::max({ws.r_dual_.norm_inf(),
+                     ws.r_eq_.empty() ? 0.0 : ws.r_eq_.norm_inf(),
+                     ws.r_ineq_.empty() ? 0.0 : ws.r_ineq_.norm_inf()});
+  };
+  const auto objective_of = [&](const num::Vector& x) {
+    num::gemv(1.0, problem.h, x, 0.0, ws.hx_);
+    return 0.5 * x.dot(ws.hx_) + problem.g.dot(x);
+  };
+  const auto finish_workspace_counters = [&]() {
+    const std::size_t bytes_after = ws.bytes();
+    if (bytes_after > bytes_before) ++ws.counters_.workspace_growths;
+    ws.counters_.peak_workspace_bytes =
+        std::max(ws.counters_.peak_workspace_bytes, bytes_after);
+  };
 
   QpResult result;
   result.x = num::Vector(n);
@@ -93,46 +178,92 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
 
   // ---- Pure equality-constrained (or unconstrained) QP: one KKT solve ----
   if (mi == 0) {
-    num::Matrix kkt(n + me, n + me);
-    kkt.set_block(0, 0, h);
-    if (me > 0) {
-      kkt.set_block(n, 0, problem.e_mat);
-      kkt.set_block(0, n, problem.e_mat.transposed());
+    // Block elimination first: Cholesky of the regularized Hessian + Schur
+    // complement in the multipliers.
+    ++ws.counters_.factorizations;
+    if (ws.schur_.factorize(ws.h_reg_, problem.e_mat)) {
+      ++ws.counters_.schur_solves;
+      ws.rhs1_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) ws.rhs1_[i] = -problem.g[i];
+      ws.schur_.solve(ws.rhs1_, problem.e_vec, ws.dx_, ws.dy_);
+      for (std::size_t i = 0; i < n; ++i) result.x[i] = ws.dx_[i];
+      for (std::size_t i = 0; i < me; ++i) result.y_eq[i] = ws.dy_[i];
+      result.status = QpStatus::kSolved;
+      result.objective = objective_of(result.x);
+      compute_residuals(result.x, result.y_eq, result.z_ineq, result.z_ineq);
+      result.kkt_residual = residual_inf();
+      finish_workspace_counters();
+      return result;
     }
-    num::Vector rhs(n + me);
-    for (std::size_t i = 0; i < n; ++i) rhs[i] = -problem.g[i];
-    for (std::size_t i = 0; i < me; ++i) rhs[n + i] = problem.e_vec[i];
 
-    // Regularize-and-retry on singular KKT (e.g. redundant equality rows).
+    // Dense fallback with regularize-and-retry (e.g. redundant equality
+    // rows make the Schur complement singular beyond its internal repair).
+    ws.kkt_.resize(n + me, n + me);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) ws.kkt_(r, c) = ws.h_reg_(r, c);
+    for (std::size_t r = 0; r < me; ++r)
+      for (std::size_t c = 0; c < n; ++c) {
+        ws.kkt_(n + r, c) = problem.e_mat(r, c);
+        ws.kkt_(c, n + r) = problem.e_mat(r, c);
+      }
+    ws.rhs_.resize(n + me);
+    for (std::size_t i = 0; i < n; ++i) ws.rhs_[i] = -problem.g[i];
+    for (std::size_t i = 0; i < me; ++i) ws.rhs_[n + i] = problem.e_vec[i];
+
     double delta = options.regularization;
     for (int attempt = 0; attempt < 6; ++attempt) {
-      num::LuFactorization lu(kkt);
-      if (lu.ok()) {
-        const num::Vector sol = lu.solve(rhs);
-        result.x = sol.segment(0, n);
-        result.y_eq = sol.segment(n, me);
+      ++ws.counters_.factorizations;
+      ++ws.counters_.dense_fallbacks;
+      if (ws.lu_.factorize(ws.kkt_)) {
+        ws.lu_.solve_into(ws.rhs_, ws.sol_);
+        for (std::size_t i = 0; i < n; ++i) result.x[i] = ws.sol_[i];
+        for (std::size_t i = 0; i < me; ++i) result.y_eq[i] = ws.sol_[n + i];
         result.status = QpStatus::kSolved;
-        result.objective = objective_of(problem, result.x);
-        const Residuals r = compute_residuals(problem, h, result.x,
-                                              result.y_eq, result.z_ineq,
-                                              num::Vector(0));
-        result.kkt_residual = r.inf_norm();
+        result.objective = objective_of(result.x);
+        compute_residuals(result.x, result.y_eq, result.z_ineq,
+                          result.z_ineq);
+        result.kkt_residual = residual_inf();
+        finish_workspace_counters();
         return result;
       }
       delta = std::max(delta * 100.0, 1e-10);
-      for (std::size_t i = 0; i < n; ++i) kkt(i, i) += delta;
-      for (std::size_t i = 0; i < me; ++i) kkt(n + i, n + i) -= delta;
+      for (std::size_t i = 0; i < n; ++i) ws.kkt_(i, i) += delta;
+      for (std::size_t i = 0; i < me; ++i) ws.kkt_(n + i, n + i) -= delta;
     }
     result.status = QpStatus::kNumericalIssue;
+    finish_workspace_counters();
     return result;
   }
 
   // ---- Interior point (Mehrotra predictor-corrector) ----
   bool hard_failure = false;
-  num::Vector x(n), y(me), z(mi, 1.0), s(mi, 1.0);
+  num::Vector& x = ws.x_;
+  num::Vector& y = ws.y_;
+  num::Vector& z = ws.z_;
+  num::Vector& s = ws.s_;
+  x.assign(n, 0.0);
+  y.assign(me, 0.0);
+  z.assign(mi, 1.0);
+  s.resize(mi);
   // Start slacks at a comfortable distance from the boundary.
   for (std::size_t i = 0; i < mi; ++i)
     s[i] = std::max(1.0, std::abs(problem.b_vec[i]));
+
+  // Warm start: seed the primal from the previous solution and clamp the
+  // multipliers/slacks into the interior — an accurate seed starts the
+  // barrier nearly converged; a stale one is no worse than a cold start.
+  if (warm_start != nullptr && warm_start->x.size() == n &&
+      warm_start->y_eq.size() == me && warm_start->z_ineq.size() == mi) {
+    ++ws.counters_.warm_starts;
+    for (std::size_t i = 0; i < n; ++i) x[i] = warm_start->x[i];
+    for (std::size_t i = 0; i < me; ++i) y[i] = warm_start->y_eq[i];
+    for (std::size_t i = 0; i < mi; ++i)
+      z[i] = std::max(warm_start->z_ineq[i], 1e-3);
+    for (std::size_t i = 0; i < mi; ++i) {
+      const double slack = problem.b_vec[i] - csr_dot_row(i, x);
+      s[i] = std::max(slack, 1e-3 * std::max(1.0, std::abs(problem.b_vec[i])));
+    }
+  }
 
   const double scale =
       std::max({1.0, problem.g.norm_inf(), problem.b_vec.norm_inf(),
@@ -140,14 +271,17 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
 
   // Track the best iterate seen so that divergence still returns something
   // usable to the SQP line search.
-  num::Vector best_x = x, best_y = y, best_z = z;
+  num::copy_into(x, ws.best_x_);
+  num::copy_into(y, ws.best_y_);
+  num::copy_into(z, ws.best_z_);
   double best_residual = std::numeric_limits<double>::infinity();
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    const Residuals res = compute_residuals(problem, h, x, y, z, s);
+    ++ws.counters_.ipm_iterations;
+    compute_residuals(x, y, z, s);
     const double mu = s.dot(z) / static_cast<double>(mi);
-    result.kkt_residual = res.inf_norm();
+    result.kkt_residual = residual_inf();
 
     if (!std::isfinite(result.kkt_residual) || !std::isfinite(mu)) {
       // The iteration diverged (ill-conditioned scaling matrix); fall back
@@ -158,9 +292,9 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
     const double progress = result.kkt_residual + mu;
     if (progress < best_residual) {
       best_residual = progress;
-      best_x = x;
-      best_y = y;
-      best_z = z;
+      num::copy_into(x, ws.best_x_);
+      num::copy_into(y, ws.best_y_);
+      num::copy_into(z, ws.best_z_);
     }
 
     if (result.kkt_residual <= options.tolerance * scale &&
@@ -169,93 +303,123 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
       break;
     }
 
-    // Reduced KKT: [H + AᵀDA, Eᵀ; E, 0], D = diag(z/s).
-    num::Matrix kkt(n + me, n + me);
-    {
-      num::Matrix hd = h;
-      for (std::size_t r = 0; r < mi; ++r) {
-        // Clamp the barrier scaling: an almost-converged active constraint
-        // would otherwise overflow the KKT system and poison the LU.
-        const double d = std::clamp(z[r] / s[r], 1e-10, 1e10);
-        for (std::size_t i = 0; i < n; ++i) {
-          const double ari = problem.a_mat(r, i);
-          if (ari == 0.0) continue;
-          const double dai = d * ari;
-          for (std::size_t j = 0; j < n; ++j)
-            hd(i, j) += dai * problem.a_mat(r, j);
+    // Barrier-augmented Hessian K = H + AᵀDA, D = diag(z/s). Only the
+    // upper triangle is accumulated (K is symmetric); the CSR row view
+    // makes each row's contribution O(nnz²) instead of O(n·nnz).
+    ws.k_mat_.copy_from(ws.h_reg_);
+    for (std::size_t r = 0; r < mi; ++r) {
+      // Clamp the barrier scaling: an almost-converged active constraint
+      // would otherwise overflow the KKT system and poison the
+      // factorization.
+      const double d = std::clamp(z[r] / s[r], 1e-10, 1e10);
+      for (std::size_t ki = ws.a_row_ptr_[r]; ki < ws.a_row_ptr_[r + 1];
+           ++ki) {
+        const double dai = d * ws.a_val_[ki];
+        const std::size_t ci = ws.a_col_[ki];
+        for (std::size_t kj = ki; kj < ws.a_row_ptr_[r + 1]; ++kj)
+          ws.k_mat_(ci, ws.a_col_[kj]) += dai * ws.a_val_[kj];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) ws.k_mat_(j, i) = ws.k_mat_(i, j);
+
+    // Factorize the reduced KKT [K, Eᵀ; E, 0] by block elimination; if K is
+    // not numerically SPD (extreme barrier scaling), fall back to a dense
+    // LU of the full KKT matrix, regularizing once more if needed.
+    ++ws.counters_.factorizations;
+    bool use_schur = ws.schur_.factorize(ws.k_mat_, problem.e_mat);
+    if (use_schur) {
+      ++ws.counters_.schur_solves;
+    } else {
+      ws.kkt_.resize(n + me, n + me);
+      for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) ws.kkt_(r, c) = ws.k_mat_(r, c);
+      for (std::size_t r = 0; r < me; ++r)
+        for (std::size_t c = 0; c < n; ++c) {
+          ws.kkt_(n + r, c) = problem.e_mat(r, c);
+          ws.kkt_(c, n + r) = problem.e_mat(r, c);
+        }
+      ++ws.counters_.dense_fallbacks;
+      if (!ws.lu_.factorize(ws.kkt_)) {
+        for (std::size_t i = 0; i < n; ++i) ws.kkt_(i, i) += 1e-8;
+        for (std::size_t i = 0; i < me; ++i) ws.kkt_(n + i, n + i) -= 1e-8;
+        ++ws.counters_.factorizations;
+        ++ws.counters_.dense_fallbacks;
+        if (!ws.lu_.factorize(ws.kkt_)) {
+          hard_failure = true;
+          break;
         }
       }
-      kkt.set_block(0, 0, hd);
-    }
-    if (me > 0) {
-      kkt.set_block(n, 0, problem.e_mat);
-      kkt.set_block(0, n, problem.e_mat.transposed());
     }
 
-    num::LuFactorization lu(kkt);
-    if (!lu.ok()) {
-      // Regularize the whole system once; if that also fails, bail out with
-      // whatever iterate we have.
-      for (std::size_t i = 0; i < n; ++i) kkt(i, i) += 1e-8;
-      for (std::size_t i = 0; i < me; ++i) kkt(n + i, n + i) -= 1e-8;
-      lu = num::LuFactorization(kkt);
-      if (!lu.ok()) {
-        hard_failure = true;
-        break;
-      }
-    }
-
-    auto solve_newton = [&](const num::Vector& rc) {
-      // Newton step for the perturbed KKT system with complementarity
-      // target rc: Z·ds + S·dz = rc − Z·S·e. Eliminating ds = −r_i − A·dx
-      // and dz = D·A·dx + (rc − z∘s + z∘r_i)/s gives the reduced system
-      // already factorized in `lu`.
-      num::Vector tmp(mi);
+    // Newton step for the perturbed KKT system with complementarity target
+    // rc: Z·ds + S·dz = rc − Z·S·e. Eliminating ds = −r_i − A·dx and
+    // dz = D·A·dx + (rc − z∘s + z∘r_i)/s gives the reduced system
+    // factorized above. Writes into caller-provided buffers — no
+    // allocation at steady state.
+    const auto solve_newton = [&](const num::Vector& rc, num::Vector& dx,
+                                  num::Vector& dy, num::Vector& ds,
+                                  num::Vector& dz) {
+      ws.tmp_mi_.resize(mi);
       for (std::size_t i = 0; i < mi; ++i)
-        tmp[i] = (rc[i] - z[i] * s[i] + z[i] * res.ineq[i]) / s[i];
-      num::Vector rhs(n + me);
-      num::Vector rhs1 = -res.dual - problem.a_mat.transpose_times(tmp);
-      rhs.set_segment(0, rhs1);
-      if (me > 0) rhs.set_segment(n, -res.eq);
-      const num::Vector sol = lu.solve(rhs);
-      num::Vector dx = sol.segment(0, n);
-      num::Vector dy = sol.segment(n, me);
-      num::Vector ds = -res.ineq - problem.a_mat * dx;
-      num::Vector dz(mi);
+        ws.tmp_mi_[i] =
+            (rc[i] - z[i] * s[i] + z[i] * ws.r_ineq_[i]) / s[i];
+      ws.rhs1_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) ws.rhs1_[i] = -ws.r_dual_[i];
+      for (std::size_t r = 0; r < mi; ++r) {
+        const double wr = ws.tmp_mi_[r];
+        if (wr == 0.0) continue;
+        for (std::size_t k = ws.a_row_ptr_[r]; k < ws.a_row_ptr_[r + 1]; ++k)
+          ws.rhs1_[ws.a_col_[k]] -= ws.a_val_[k] * wr;
+      }
+      if (use_schur) {
+        ws.r_eq_neg_.resize(me);
+        for (std::size_t i = 0; i < me; ++i) ws.r_eq_neg_[i] = -ws.r_eq_[i];
+        ws.schur_.solve(ws.rhs1_, ws.r_eq_neg_, dx, dy);
+      } else {
+        ws.rhs_.resize(n + me);
+        for (std::size_t i = 0; i < n; ++i) ws.rhs_[i] = ws.rhs1_[i];
+        for (std::size_t i = 0; i < me; ++i) ws.rhs_[n + i] = -ws.r_eq_[i];
+        ws.lu_.solve_into(ws.rhs_, ws.sol_);
+        dx.resize(n);
+        for (std::size_t i = 0; i < n; ++i) dx[i] = ws.sol_[i];
+        dy.resize(me);
+        for (std::size_t i = 0; i < me; ++i) dy[i] = ws.sol_[n + i];
+      }
+      ds.resize(mi);
+      for (std::size_t r = 0; r < mi; ++r)
+        ds[r] = -ws.r_ineq_[r] - csr_dot_row(r, dx);
+      dz.resize(mi);
       for (std::size_t i = 0; i < mi; ++i)
         dz[i] = (rc[i] - z[i] * s[i] - z[i] * ds[i]) / s[i];
-      struct Step {
-        num::Vector dx, dy, ds, dz;
-      };
-      return Step{std::move(dx), std::move(dy), std::move(ds), std::move(dz)};
     };
 
     // Predictor (affine): rc = 0 target → drive ZSe to 0.
-    num::Vector rc_aff(mi, 0.0);
-    auto aff = solve_newton(rc_aff);
-    const double a_s_aff = max_step(s, aff.ds, 1.0);
-    const double a_z_aff = max_step(z, aff.dz, 1.0);
+    ws.rc_.assign(mi, 0.0);
+    solve_newton(ws.rc_, ws.dx_aff_, ws.dy_aff_, ws.ds_aff_, ws.dz_aff_);
+    const double a_s_aff = max_step(s, ws.ds_aff_, 1.0);
+    const double a_z_aff = max_step(z, ws.dz_aff_, 1.0);
     const double alpha_aff = std::min(a_s_aff, a_z_aff);
     double mu_aff = 0.0;
     for (std::size_t i = 0; i < mi; ++i)
-      mu_aff += (s[i] + alpha_aff * aff.ds[i]) * (z[i] + alpha_aff * aff.dz[i]);
+      mu_aff += (s[i] + alpha_aff * ws.ds_aff_[i]) *
+                (z[i] + alpha_aff * ws.dz_aff_[i]);
     mu_aff /= static_cast<double>(mi);
     const double sigma = std::pow(std::clamp(mu_aff / mu, 0.0, 1.0), 3);
 
     // Corrector: rc = σμe − ΔS_aff·ΔZ_aff·e.
-    num::Vector rc(mi);
     for (std::size_t i = 0; i < mi; ++i)
-      rc[i] = sigma * mu - aff.ds[i] * aff.dz[i];
-    auto step = solve_newton(rc);
+      ws.rc_[i] = sigma * mu - ws.ds_aff_[i] * ws.dz_aff_[i];
+    solve_newton(ws.rc_, ws.dx_, ws.dy_, ws.ds_, ws.dz_);
 
     const double tau = 0.995;
-    const double alpha =
-        std::min({max_step(s, step.ds, tau), max_step(z, step.dz, tau), 1.0});
+    const double alpha = std::min(
+        {max_step(s, ws.ds_, tau), max_step(z, ws.dz_, tau), 1.0});
 
-    x.add_scaled(alpha, step.dx);
-    if (me > 0) y.add_scaled(alpha, step.dy);
-    s.add_scaled(alpha, step.ds);
-    z.add_scaled(alpha, step.dz);
+    x.add_scaled(alpha, ws.dx_);
+    if (me > 0) y.add_scaled(alpha, ws.dy_);
+    s.add_scaled(alpha, ws.ds_);
+    z.add_scaled(alpha, ws.dz_);
   }
 
   if (result.status != QpStatus::kSolved) {
@@ -263,9 +427,9 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
     // near-converged iterate counts as solved: the typical "failure" mode
     // is the barrier matrix blowing up the KKT factorization one iteration
     // *after* the iterate has effectively converged.
-    x = best_x;
-    y = best_y;
-    z = best_z;
+    num::copy_into(ws.best_x_, x);
+    num::copy_into(ws.best_y_, y);
+    num::copy_into(ws.best_z_, z);
     result.kkt_residual = best_residual;
     if (best_residual <= 1e-5 * scale)
       result.status = QpStatus::kSolved;
@@ -273,10 +437,11 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
       result.status =
           hard_failure ? QpStatus::kNumericalIssue : QpStatus::kMaxIterations;
   }
-  result.x = x;
-  result.y_eq = y;
-  result.z_ineq = z;
-  result.objective = objective_of(problem, x);
+  for (std::size_t i = 0; i < n; ++i) result.x[i] = x[i];
+  for (std::size_t i = 0; i < me; ++i) result.y_eq[i] = y[i];
+  for (std::size_t i = 0; i < mi; ++i) result.z_ineq[i] = z[i];
+  result.objective = objective_of(x);
+  finish_workspace_counters();
   return result;
 }
 

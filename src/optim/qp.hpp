@@ -10,14 +10,29 @@
 // mildly inconsistent linearizations at it every control step, and
 // regularize-and-retry is easier to reason about than active-set repair.
 //
-// Problem sizes here are MPC-scale (n ≲ 300, a few hundred constraints), so
-// dense LU of the reduced KKT system per IPM iteration is plenty fast.
+// Problem sizes here are MPC-scale (n ≲ 300, a few hundred constraints).
+// The per-iteration KKT system is solved by block elimination: Cholesky of
+// the SPD barrier-augmented Hessian K = H + AᵀDA plus a Schur complement in
+// the equality multipliers (numerics/schur_kkt), falling back to a dense LU
+// of the full KKT matrix when K is not numerically positive definite. The
+// barrier term AᵀDA is assembled from a compressed-sparse-row view of A —
+// MPC inequality rows are bounds and simple couplings with 1–3 nonzeros —
+// and only the upper triangle is computed.
+//
+// All per-iteration storage lives in a QpWorkspace that the caller may own
+// and reuse across solves: at steady state (same problem dimensions) the
+// interior-point loop performs zero heap allocations. The workspace also
+// accumulates perf counters (iterations, factorizations, fallbacks, peak
+// bytes) so benches can track the solver's cost envelope.
 #pragma once
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
+#include "numerics/factorization.hpp"
 #include "numerics/matrix.hpp"
+#include "numerics/schur_kkt.hpp"
 #include "numerics/vector.hpp"
 
 namespace evc::opt {
@@ -61,8 +76,79 @@ struct QpOptions {
   double regularization = 1e-9; ///< added to H's diagonal before solving
 };
 
-/// Solve a dense convex QP. H is symmetrized internally.
+/// Primal/dual seed for the interior-point iteration, typically the solution
+/// of the previous QP in an SQP or receding-horizon sequence. Multipliers
+/// are clamped into the interior and slacks re-derived from the primal seed,
+/// so a stale or slightly infeasible seed degrades into a cold start rather
+/// than a failure. Ignored when dimensions do not match the problem.
+struct QpWarmStart {
+  num::Vector x;       ///< primal seed (size n)
+  num::Vector y_eq;    ///< equality multiplier seed (size m_e)
+  num::Vector z_ineq;  ///< inequality multiplier seed (size m_i)
+  bool empty() const { return x.empty() && y_eq.empty() && z_ineq.empty(); }
+};
+
+/// Perf counters accumulated across every solve that uses a workspace.
+struct QpPerfCounters {
+  std::size_t solves = 0;
+  std::size_t ipm_iterations = 0;
+  std::size_t factorizations = 0;      ///< KKT factorizations, any path
+  std::size_t schur_solves = 0;        ///< block-elimination factorizations
+  std::size_t dense_fallbacks = 0;     ///< full dense KKT LU factorizations
+  std::size_t warm_starts = 0;         ///< solves seeded from a warm start
+  std::size_t workspace_growths = 0;   ///< solves that grew any buffer
+  std::size_t peak_workspace_bytes = 0;
+
+  QpPerfCounters& operator+=(const QpPerfCounters& rhs);
+};
+
+/// Reusable storage for solve_qp. Create once (per thread/controller), pass
+/// to every solve: buffers grow to the largest problem seen and are then
+/// reused, making the interior-point loop allocation-free at steady state.
+/// Not thread-safe — one workspace per concurrent solver.
+class QpWorkspace {
+ public:
+  QpWorkspace() = default;
+
+  const QpPerfCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = QpPerfCounters{}; }
+
+  /// Bytes currently held across all buffers (capacity, not size).
+  std::size_t bytes() const;
+
+ private:
+  friend QpResult solve_qp(const QpProblem&, const QpOptions&, QpWorkspace&,
+                           const QpWarmStart*);
+
+  QpPerfCounters counters_;
+
+  // Compressed-sparse-row view of the inequality matrix A.
+  std::vector<std::size_t> a_row_ptr_;
+  std::vector<std::size_t> a_col_;
+  std::vector<double> a_val_;
+
+  num::Matrix h_reg_;  ///< symmetrized + regularized Hessian
+  num::Matrix k_mat_;  ///< H + AᵀDA (barrier-augmented Hessian)
+  num::Matrix kkt_;    ///< dense (n+me) KKT matrix (fallback path)
+  num::SchurKktSolver schur_;
+  num::LuFactorization lu_;
+
+  num::Vector x_, y_, z_, s_;
+  num::Vector best_x_, best_y_, best_z_;
+  num::Vector r_dual_, r_eq_, r_eq_neg_, r_ineq_;
+  num::Vector tmp_mi_, rhs1_, rhs_, sol_, hx_;
+  num::Vector dx_aff_, dy_aff_, ds_aff_, dz_aff_;
+  num::Vector dx_, dy_, ds_, dz_, rc_;
+};
+
+/// Solve a dense convex QP. H is symmetrized internally. The overload
+/// without a workspace allocates a fresh one per call (setup code); hot
+/// paths should own a QpWorkspace and pass it in, optionally with a warm
+/// start from the previous solve in the sequence.
 QpResult solve_qp(const QpProblem& problem, const QpOptions& options = {});
+QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
+                  QpWorkspace& workspace,
+                  const QpWarmStart* warm_start = nullptr);
 
 std::string to_string(QpStatus status);
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "numerics/kernels.hpp"
 #include "util/expect.hpp"
 
 namespace evc::opt {
@@ -21,31 +23,49 @@ std::string to_string(SqpStatus status) {
 
 namespace {
 
-// Σ max(Ax−b, 0): total linear inequality violation.
-double ineq_violation_l1(const num::Matrix& a, const num::Vector& b,
-                         const num::Vector& x) {
-  if (b.empty()) return 0.0;
-  const num::Vector ax = a * x;
-  double acc = 0.0;
-  for (std::size_t i = 0; i < b.size(); ++i)
-    acc += std::max(ax[i] - b[i], 0.0);
-  return acc;
-}
+// Everything the ℓ1 merit function φ(x) = f(x) + ν·viol(x) needs at a
+// point, evaluated once and cached: when a line-search candidate is
+// accepted, its evaluation *is* the next iteration's φ0 — the penalty ν may
+// change between iterations, so the components are stored instead of φ
+// itself. The equality values double as the QP subproblem's −e_vec.
+struct MeritEval {
+  double f = 0.0;
+  num::Vector c;  ///< equality constraint values
+  double eq_l1 = 0.0;
+  double eq_inf = 0.0;
+  double ineq_l1 = 0.0;
+  double ineq_inf = 0.0;
 
-double ineq_violation_inf(const num::Matrix& a, const num::Vector& b,
-                          const num::Vector& x) {
-  if (b.empty()) return 0.0;
-  const num::Vector ax = a * x;
-  double acc = 0.0;
-  for (std::size_t i = 0; i < b.size(); ++i)
-    acc = std::max(acc, ax[i] - b[i]);
-  return acc;
+  double viol_l1() const { return eq_l1 + ineq_l1; }
+  double viol_inf() const { return std::max(eq_inf, ineq_inf); }
+  double phi(double nu) const { return f + nu * viol_l1(); }
+};
+
+MeritEval evaluate_merit(const NlpProblem& problem, const num::Matrix& a_mat,
+                         const num::Vector& b_vec, const num::Vector& x,
+                         num::Vector& ax_scratch) {
+  MeritEval m;
+  m.f = problem.cost(x);
+  m.c = problem.eq_constraints(x);
+  m.eq_l1 = m.c.norm1();
+  m.eq_inf = m.c.norm_inf();
+  if (!b_vec.empty()) {
+    num::gemv(1.0, a_mat, x, 0.0, ax_scratch);
+    for (std::size_t i = 0; i < b_vec.size(); ++i) {
+      const double v = ax_scratch[i] - b_vec[i];
+      if (v > 0.0) {
+        m.ineq_l1 += v;
+        m.ineq_inf = std::max(m.ineq_inf, v);
+      }
+    }
+  }
+  return m;
 }
 
 }  // namespace
 
-SqpResult SqpSolver::solve(const NlpProblem& problem,
-                           const num::Vector& x0) const {
+SqpResult SqpSolver::solve(const NlpProblem& problem, const num::Vector& x0,
+                           const SqpWarmStart* warm) const {
   const std::size_t n = problem.num_vars();
   EVC_EXPECT(x0.size() == n, "SQP initial point dimension mismatch");
   const num::Matrix& a_mat = problem.ineq_matrix();
@@ -55,38 +75,56 @@ SqpResult SqpSolver::solve(const NlpProblem& problem,
   result.x = x0;
   double nu = options_.initial_penalty;
 
-  auto merit = [&](const num::Vector& x) {
-    return problem.cost(x) +
-           nu * (problem.eq_constraints(x).norm1() +
-                 ineq_violation_l1(a_mat, b_vec, x));
-  };
+  // The inequality system is fixed across iterations: copy it into the
+  // reused QP subproblem once per solve.
+  qp_.a_mat.copy_from(a_mat);
+
+  // Dual seed for the first QP subproblem (receding-horizon warm start).
+  bool have_qp_warm = false;
+  if (options_.warm_start_duals && warm != nullptr &&
+      warm->y_eq.size() == problem.num_eq() &&
+      warm->z_ineq.size() == b_vec.size()) {
+    num::copy_into(warm->y_eq, qp_warm_.y_eq);
+    num::copy_into(warm->z_ineq, qp_warm_.z_ineq);
+    have_qp_warm = true;
+  }
+
+  MeritEval cur = evaluate_merit(problem, a_mat, b_vec, result.x, ax_);
+  bool have_duals = false;
 
   for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
     result.iterations = iter + 1;
     const num::Vector grad = problem.cost_gradient(result.x);
-    const num::Vector c = problem.eq_constraints(result.x);
-    const num::Matrix jac = problem.eq_jacobian(result.x);
 
     // QP subproblem in the step d:
     //   min ½dᵀHd + ∇fᵀd   s.t.  J·d = −c,  A·d ≤ b − A·x.
-    QpProblem qp;
-    qp.h = problem.cost_hessian(result.x);
+    qp_.h = problem.cost_hessian(result.x);
     for (std::size_t i = 0; i < n; ++i)
-      qp.h(i, i) += options_.hessian_regularization;
-    qp.g = grad;
-    qp.e_mat = jac;
-    qp.e_vec = -c;
-    qp.a_mat = a_mat;
+      qp_.h(i, i) += options_.hessian_regularization;
+    qp_.g = grad;
+    qp_.e_mat = problem.eq_jacobian(result.x);
+    qp_.e_vec.resize(cur.c.size());
+    for (std::size_t i = 0; i < cur.c.size(); ++i) qp_.e_vec[i] = -cur.c[i];
     if (b_vec.empty()) {
-      qp.b_vec = num::Vector(0);
+      qp_.b_vec.assign(0, 0.0);
     } else {
-      qp.b_vec = b_vec - a_mat * result.x;
+      num::gemv(-1.0, a_mat, result.x, 0.0, qp_.b_vec);
+      qp_.b_vec += b_vec;
+    }
+
+    // The QP decision variable is the *step*, so the primal seed is zero;
+    // the multipliers of the previous subproblem (or receding-horizon
+    // predecessor) seed the interior-point duals.
+    const QpWarmStart* qp_seed = nullptr;
+    if (options_.warm_start_duals && have_qp_warm) {
+      qp_warm_.x.assign(n, 0.0);
+      qp_seed = &qp_warm_;
     }
 
     QpResult qp_result;
     double extra_reg = options_.hessian_regularization;
     for (int attempt = 0; attempt < 5; ++attempt) {
-      qp_result = solve_qp(qp, options_.qp);
+      qp_result = solve_qp(qp_, options_.qp, qp_ws_, qp_seed);
       // A usable result must also be finite — a diverged interior point
       // iterate poisons the line search otherwise.
       bool finite = qp_result.usable();
@@ -98,9 +136,11 @@ SqpResult SqpSolver::solve(const NlpProblem& problem,
           }
       if (finite) break;
       qp_result.status = QpStatus::kNumericalIssue;
-      // Singular or diverging KKT: convexify harder and retry.
+      // Singular or diverging KKT: convexify harder and retry (cold — the
+      // warm seed did not help this subproblem).
+      qp_seed = nullptr;
       extra_reg = std::max(extra_reg * 100.0, 1e-6);
-      for (std::size_t i = 0; i < n; ++i) qp.h(i, i) += extra_reg;
+      for (std::size_t i = 0; i < n; ++i) qp_.h(i, i) += extra_reg;
     }
     if (!qp_result.usable()) {
       result.status = SqpStatus::kQpFailure;
@@ -109,11 +149,16 @@ SqpResult SqpSolver::solve(const NlpProblem& problem,
     result.qp_iterations_total += qp_result.iterations;
     const num::Vector& d = qp_result.x;
 
-    const double c_inf = c.norm_inf();
-    const double ineq_inf = ineq_violation_inf(a_mat, b_vec, result.x);
+    // Carry the multipliers into the next subproblem's warm start and the
+    // final result.
+    num::copy_into(qp_result.y_eq, qp_warm_.y_eq);
+    num::copy_into(qp_result.z_ineq, qp_warm_.z_ineq);
+    have_qp_warm = true;
+    have_duals = true;
+
     if (d.norm_inf() <= options_.step_tolerance &&
-        c_inf <= options_.constraint_tolerance &&
-        ineq_inf <= options_.constraint_tolerance) {
+        cur.eq_inf <= options_.constraint_tolerance &&
+        cur.ineq_inf <= options_.constraint_tolerance) {
       result.status = SqpStatus::kConverged;
       break;
     }
@@ -127,19 +172,19 @@ SqpResult SqpSolver::solve(const NlpProblem& problem,
       mult_inf = std::max(mult_inf, qp_result.z_ineq.norm_inf());
     nu = std::max(nu, 2.0 * mult_inf + 1.0);
 
-    const double phi0 = merit(result.x);
-    const double viol0 = c.norm1() + ineq_violation_l1(a_mat, b_vec, result.x);
+    const double phi0 = cur.phi(nu);
+    const double viol0 = cur.viol_l1();
     // Directional derivative of the merit along d (upper bound).
     const double descent = grad.dot(d) - nu * viol0;
 
     double t = 1.0;
-    num::Vector candidate = result.x;
     bool stepped = false;
+    MeritEval cand;
     for (std::size_t ls = 0; ls < options_.max_line_search_steps; ++ls) {
-      candidate = result.x;
-      candidate.add_scaled(t, d);
-      const double phi = merit(candidate);
-      if (phi <= phi0 + 1e-4 * t * std::min(descent, 0.0)) {
+      num::copy_into(result.x, candidate_);
+      candidate_.add_scaled(t, d);
+      cand = evaluate_merit(problem, a_mat, b_vec, candidate_, ax_);
+      if (cand.phi(nu) <= phi0 + 1e-4 * t * std::min(descent, 0.0)) {
         stepped = true;
         break;
       }
@@ -149,32 +194,35 @@ SqpResult SqpSolver::solve(const NlpProblem& problem,
       // The merit cannot be decreased along this direction (numerical
       // stagnation). Accept convergence at the current iterate if it is
       // feasible, otherwise report max-iterations with the best point.
-      result.status = (c_inf <= options_.constraint_tolerance &&
-                       ineq_inf <= options_.constraint_tolerance)
+      result.status = (cur.eq_inf <= options_.constraint_tolerance &&
+                       cur.ineq_inf <= options_.constraint_tolerance)
                           ? SqpStatus::kConverged
                           : SqpStatus::kMaxIterations;
       break;
     }
-    result.x = candidate;
+    result.x = candidate_;
+    // The accepted candidate's evaluation becomes the next iteration's φ0 —
+    // no re-evaluation of cost/constraints at the same point.
+    cur = std::move(cand);
     result.status = SqpStatus::kMaxIterations;  // until proven converged
 
     // Merit stagnation at a feasible iterate: converged for all practical
     // purposes — don't burn the remaining iterations.
-    const double phi_new = merit(result.x);
+    const double phi_new = cur.phi(nu);
     if (phi0 - phi_new <= 1e-7 * (1.0 + std::abs(phi_new)) &&
-        problem.eq_constraints(result.x).norm_inf() <=
-            options_.constraint_tolerance &&
-        ineq_violation_inf(a_mat, b_vec, result.x) <=
-            options_.constraint_tolerance) {
+        cur.eq_inf <= options_.constraint_tolerance &&
+        cur.ineq_inf <= options_.constraint_tolerance) {
       result.status = SqpStatus::kConverged;
       break;
     }
   }
 
-  result.cost = problem.cost(result.x);
-  result.constraint_violation =
-      std::max(problem.eq_constraints(result.x).norm_inf(),
-               ineq_violation_inf(a_mat, b_vec, result.x));
+  result.cost = cur.f;
+  result.constraint_violation = cur.viol_inf();
+  if (have_duals) {
+    result.y_eq = qp_warm_.y_eq;
+    result.z_ineq = qp_warm_.z_ineq;
+  }
   return result;
 }
 

@@ -6,6 +6,13 @@
 //     φ(x) = f(x) + ν·‖c(x)‖₁ + ν·‖(A x − b)₊‖₁.
 // The paper prescribes exactly this solver family for the HVAC MPC
 // (Kelman & Borrelli, IFAC'11 — bilinear HVAC MPC via SQP).
+//
+// Hot-path behaviour: the solver owns a persistent QpWorkspace and a reused
+// QP subproblem, so consecutive iterations (and consecutive solves on a
+// receding horizon) share storage. QP duals are carried from one subproblem
+// to the next as interior-point warm starts, and the merit value of an
+// accepted line-search candidate is cached so the next iteration does not
+// re-evaluate cost/constraints at the same point.
 #pragma once
 
 #include <cstddef>
@@ -29,12 +36,21 @@ struct SqpOptions {
   double initial_penalty = 10.0;       ///< ν for the ℓ1 merit
   double hessian_regularization = 1e-8;
   std::size_t max_line_search_steps = 25;
+  /// Seed each QP subproblem's interior-point iteration with the previous
+  /// subproblem's multipliers (and an externally provided SqpWarmStart for
+  /// the first one). Off reproduces fully cold QP solves.
+  bool warm_start_duals = true;
   QpOptions qp;
 };
 
 struct SqpResult {
   SqpStatus status = SqpStatus::kQpFailure;
   num::Vector x;
+  /// Final QP multipliers (equality / inequality): the dual state to carry
+  /// into the next receding-horizon solve as an SqpWarmStart. Empty when no
+  /// QP subproblem succeeded.
+  num::Vector y_eq;
+  num::Vector z_ineq;
   double cost = 0.0;
   double constraint_violation = 0.0;  ///< ‖c(x)‖∞ at the final iterate
   std::size_t iterations = 0;
@@ -43,16 +59,44 @@ struct SqpResult {
   bool usable() const { return status != SqpStatus::kQpFailure; }
 };
 
+/// Dual seed for the first QP subproblem of a solve — typically the final
+/// multipliers of the previous receding-horizon step. Mismatched sizes are
+/// ignored (cold start).
+struct SqpWarmStart {
+  num::Vector y_eq;
+  num::Vector z_ineq;
+  bool empty() const { return y_eq.empty() && z_ineq.empty(); }
+};
+
 class SqpSolver {
  public:
   explicit SqpSolver(SqpOptions options = {}) : options_(options) {}
 
   /// Solve `problem` starting from `x0` (size num_vars()). `x0` need not be
-  /// feasible.
-  SqpResult solve(const NlpProblem& problem, const num::Vector& x0) const;
+  /// feasible. `warm` optionally seeds the first QP subproblem's duals.
+  ///
+  /// Logically const but reuses an internal workspace: concurrent solve()
+  /// calls on the *same* SqpSolver instance are not allowed (one solver per
+  /// thread/controller).
+  SqpResult solve(const NlpProblem& problem, const num::Vector& x0,
+                  const SqpWarmStart* warm = nullptr) const;
+
+  /// Perf counters aggregated over every QP subproblem solved through this
+  /// solver's workspace.
+  const QpPerfCounters& qp_counters() const { return qp_ws_.counters(); }
+  void reset_qp_counters() const { qp_ws_.reset_counters(); }
+  /// Bytes held by the persistent QP workspace.
+  std::size_t workspace_bytes() const { return qp_ws_.bytes(); }
 
  private:
   SqpOptions options_;
+  // Persistent hot-path storage (see class comment): reused across
+  // iterations and across solves.
+  mutable QpWorkspace qp_ws_;
+  mutable QpProblem qp_;
+  mutable QpWarmStart qp_warm_;
+  mutable num::Vector candidate_;
+  mutable num::Vector ax_;
 };
 
 std::string to_string(SqpStatus status);

@@ -1,0 +1,126 @@
+// Thread-pool batch runner for embarrassingly parallel scenario sweeps.
+//
+// The bench/figure harness runs many independent closed-loop simulations
+// (one per drive cycle, ambient temperature, or ablation variant). Each
+// scenario owns its controllers and RNG state, so they parallelize with no
+// shared mutable state; parallel_map writes each scenario's result into its
+// own slot, making the output bit-identical to a serial run regardless of
+// worker count or scheduling.
+//
+// Worker count: EVC_THREADS in the environment overrides (total concurrency
+// including the calling thread; 1 = serial), otherwise hardware concurrency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace evc::rt {
+
+/// Fixed-size pool of worker threads draining a task queue. The pool holds
+/// *helper* threads: batch helpers below also run work on the calling
+/// thread, so a pool of size 0 is valid and means "serial".
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. With zero workers the task runs inline.
+  void submit(std::function<void()> task);
+
+  /// Total desired concurrency: EVC_THREADS if set and positive, otherwise
+  /// std::thread::hardware_concurrency() (at least 1).
+  static std::size_t default_concurrency();
+
+  /// Process-wide pool with default_concurrency() − 1 helper threads,
+  /// created on first use. EVC_THREADS=1 therefore makes every
+  /// parallel_for/parallel_map on the global pool strictly serial.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for every i in [0, n) using `pool`'s helpers plus the calling
+/// thread. Returns after all iterations finish; the first exception thrown
+/// by fn is rethrown (remaining iterations are skipped once one fails).
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t helpers = n > 1 ? std::min(pool.size(), n - 1) : 0;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+  const auto drain = [&]() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::atomic<std::size_t> pending{helpers};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  for (std::size_t w = 0; w < helpers; ++w) {
+    pool.submit([&]() {
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        pending.fetch_sub(1, std::memory_order_relaxed);
+      }
+      done_cv.notify_one();
+    });
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return pending.load() == 0; });
+  if (error) std::rethrow_exception(error);
+}
+
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+  parallel_for(ThreadPool::global(), n, std::forward<Fn>(fn));
+}
+
+/// parallel_for that collects results: out[i] = fn(i). Slot-indexed, so the
+/// result vector is identical to the serial `for` loop's.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+  return parallel_map<T>(ThreadPool::global(), n, std::forward<Fn>(fn));
+}
+
+}  // namespace evc::rt

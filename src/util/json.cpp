@@ -91,6 +91,12 @@ JsonWriter& JsonWriter::value(bool b) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(const std::string& json) {
+  comma_if_needed();
+  out_ << json;
+  return *this;
+}
+
 std::string JsonWriter::str() const {
   if (!needs_comma_.empty())
     throw std::logic_error("JsonWriter: unclosed containers");

@@ -34,6 +34,9 @@ class JsonWriter {
   JsonWriter& value(long v);
   JsonWriter& value(int v) { return value(static_cast<long>(v)); }
   JsonWriter& value(bool b);
+  /// Splice an already-rendered JSON document in value position (e.g. the
+  /// output of another writer). The caller guarantees it is valid JSON.
+  JsonWriter& raw_value(const std::string& json);
 
   /// The document so far. Throws std::logic_error if containers are still
   /// open.

@@ -1,0 +1,65 @@
+// Thread-pool batch runner: determinism (slot-indexed results identical to
+// the serial loop), exception propagation, and serial degradation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace evc;
+
+TEST(ThreadPool, ParallelMapMatchesSerialLoop) {
+  rt::ThreadPool pool(3);
+  const std::size_t n = 200;
+  const auto fn = [](std::size_t i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= i; ++k)
+      acc += static_cast<double>(k * k) * 1e-3;
+    return acc;
+  };
+  const std::vector<double> parallel = rt::parallel_map<double>(pool, n, fn);
+  ASSERT_EQ(parallel.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(parallel[i], fn(i));
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  rt::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::atomic<int> calls{0};
+  rt::parallel_for(pool, 17, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 17);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoOp) {
+  rt::ThreadPool pool(2);
+  rt::parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, FirstExceptionPropagates) {
+  rt::ThreadPool pool(3);
+  EXPECT_THROW(rt::parallel_for(pool, 64,
+                                [](std::size_t i) {
+                                  if (i == 13)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  rt::ThreadPool pool(4);
+  const std::size_t n = 500;
+  std::vector<std::atomic<int>> hits(n);
+  rt::parallel_for(pool, n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsPositive) {
+  EXPECT_GE(rt::ThreadPool::default_concurrency(), 1u);
+}
+
+}  // namespace
