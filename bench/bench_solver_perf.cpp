@@ -69,16 +69,16 @@ core::MpcFormulation make_window_formulation(std::size_t horizon) {
 }
 
 void write_counters(JsonWriter& json, const opt::QpPerfCounters& c) {
-  const auto count = [](std::size_t v) { return static_cast<long>(v); };
   json.begin_object();
-  json.key("solves").value(count(c.solves));
-  json.key("ipm_iterations").value(count(c.ipm_iterations));
-  json.key("factorizations").value(count(c.factorizations));
-  json.key("schur_solves").value(count(c.schur_solves));
-  json.key("dense_fallbacks").value(count(c.dense_fallbacks));
-  json.key("warm_starts").value(count(c.warm_starts));
-  json.key("workspace_growths").value(count(c.workspace_growths));
-  json.key("peak_workspace_bytes").value(count(c.peak_workspace_bytes));
+  json.key("solves").value(c.solves);
+  json.key("ipm_iterations").value(c.ipm_iterations);
+  json.key("factorizations").value(c.factorizations);
+  json.key("schur_solves").value(c.schur_solves);
+  json.key("schur_regularizations").value(c.schur_regularizations);
+  json.key("dense_fallbacks").value(c.dense_fallbacks);
+  json.key("warm_starts").value(c.warm_starts);
+  json.key("workspace_growths").value(c.workspace_growths);
+  json.key("peak_workspace_bytes").value(c.peak_workspace_bytes);
   json.end_object();
 }
 
@@ -86,10 +86,9 @@ void write_bench_header(JsonWriter& json, const std::string& name,
                         std::size_t reps, std::uint64_t wall_ns) {
   json.begin_object();
   json.key("name").value(name);
-  json.key("reps").value(static_cast<long>(reps));
-  json.key("wall_ns").value(static_cast<long>(wall_ns));
-  json.key("ns_per_rep")
-      .value(static_cast<long>(wall_ns / (reps > 0 ? reps : 1)));
+  json.key("reps").value(reps);
+  json.key("wall_ns").value(wall_ns);
+  json.key("ns_per_rep").value(wall_ns / (reps > 0 ? reps : 1));
 }
 
 }  // namespace

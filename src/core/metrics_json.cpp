@@ -42,28 +42,27 @@ std::string to_json(const TripMetrics& metrics) {
 }
 
 std::string to_json(const MpcPlanStats& stats) {
-  const auto count = [](std::size_t v) { return static_cast<long>(v); };
   JsonWriter json;
   json.begin_object();
-  json.key("plans").value(count(stats.plans));
-  json.key("failures").value(count(stats.failures));
-  json.key("sqp_iterations").value(count(stats.sqp_iterations));
-  json.key("qp_iterations").value(count(stats.qp_iterations));
-  json.key("solve_time_ns").value(static_cast<long>(stats.solve_time_ns));
-  json.key("dual_warm_starts").value(count(stats.dual_warm_starts));
+  json.key("plans").value(stats.plans);
+  json.key("failures").value(stats.failures);
+  json.key("sqp_iterations").value(stats.sqp_iterations);
+  json.key("qp_iterations").value(stats.qp_iterations);
+  json.key("solve_time_ns").value(stats.solve_time_ns);
+  json.key("dual_warm_starts").value(stats.dual_warm_starts);
   json.key("solver");
   json.begin_object();
-  json.key("solves").value(count(stats.solver.solves));
-  json.key("ipm_iterations").value(count(stats.solver.ipm_iterations));
-  json.key("factorizations").value(count(stats.solver.factorizations));
-  json.key("schur_solves").value(count(stats.solver.schur_solves));
-  json.key("dense_fallbacks").value(count(stats.solver.dense_fallbacks));
-  json.key("warm_starts").value(count(stats.solver.warm_starts));
-  json.key("workspace_growths").value(count(stats.solver.workspace_growths));
-  json.key("peak_workspace_bytes")
-      .value(count(stats.solver.peak_workspace_bytes));
+  json.key("solves").value(stats.solver.solves);
+  json.key("ipm_iterations").value(stats.solver.ipm_iterations);
+  json.key("factorizations").value(stats.solver.factorizations);
+  json.key("schur_solves").value(stats.solver.schur_solves);
+  json.key("schur_regularizations").value(stats.solver.schur_regularizations);
+  json.key("dense_fallbacks").value(stats.solver.dense_fallbacks);
+  json.key("warm_starts").value(stats.solver.warm_starts);
+  json.key("workspace_growths").value(stats.solver.workspace_growths);
+  json.key("peak_workspace_bytes").value(stats.solver.peak_workspace_bytes);
   json.end_object();
-  json.key("workspace_bytes").value(count(stats.solver_workspace_bytes));
+  json.key("workspace_bytes").value(stats.solver_workspace_bytes);
   json.end_object();
   return json.str();
 }

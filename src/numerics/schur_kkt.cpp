@@ -14,6 +14,7 @@ bool SchurKktSolver::factorize(const Matrix& k, const Matrix& e) {
   me_ = e.rows();
   ok_ = false;
   s_via_lu_ = false;
+  regularized_ = false;
 
   if (!chol_k_.factorize(k)) return false;
 
@@ -54,6 +55,7 @@ bool SchurKktSolver::factorize(const Matrix& k, const Matrix& e) {
   // equality rows): dual-regularize once, then fall back to pivoted LU.
   double shift = std::max(1e-12 * s_.norm_max(), 1e-12);
   for (std::size_t i = 0; i < me_; ++i) s_(i, i) += shift;
+  regularized_ = true;
   if (chol_s_.factorize(s_)) {
     ok_ = true;
     return true;

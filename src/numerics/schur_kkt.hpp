@@ -42,6 +42,11 @@ class SchurKktSolver {
   bool factorize(const Matrix& k, const Matrix& e);
 
   bool ok() const { return ok_; }
+  /// True when the last successful factorize() had to diagonally shift the
+  /// Schur complement (singular / indefinite S, e.g. redundant equality
+  /// rows). Duals from such a solve are from the perturbed system; callers
+  /// can count these to keep the repair path observable.
+  bool regularized() const { return regularized_; }
   std::size_t dim_primal() const { return n_; }
   std::size_t dim_dual() const { return me_; }
 
@@ -56,6 +61,7 @@ class SchurKktSolver {
   std::size_t n_ = 0;
   std::size_t me_ = 0;
   bool ok_ = false;
+  bool regularized_ = false;
 
   CholeskyFactorization chol_k_;
   CholeskyFactorization chol_s_;

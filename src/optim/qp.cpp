@@ -42,6 +42,7 @@ QpPerfCounters& QpPerfCounters::operator+=(const QpPerfCounters& rhs) {
   ipm_iterations += rhs.ipm_iterations;
   factorizations += rhs.factorizations;
   schur_solves += rhs.schur_solves;
+  schur_regularizations += rhs.schur_regularizations;
   dense_fallbacks += rhs.dense_fallbacks;
   warm_starts += rhs.warm_starts;
   workspace_growths += rhs.workspace_growths;
@@ -183,6 +184,7 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
     ++ws.counters_.factorizations;
     if (ws.schur_.factorize(ws.h_reg_, problem.e_mat)) {
       ++ws.counters_.schur_solves;
+      if (ws.schur_.regularized()) ++ws.counters_.schur_regularizations;
       ws.rhs1_.resize(n);
       for (std::size_t i = 0; i < n; ++i) ws.rhs1_[i] = -problem.g[i];
       ws.schur_.solve(ws.rhs1_, problem.e_vec, ws.dx_, ws.dy_);
@@ -330,6 +332,7 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
     bool use_schur = ws.schur_.factorize(ws.k_mat_, problem.e_mat);
     if (use_schur) {
       ++ws.counters_.schur_solves;
+      if (ws.schur_.regularized()) ++ws.counters_.schur_regularizations;
     } else {
       ws.kkt_.resize(n + me, n + me);
       for (std::size_t r = 0; r < n; ++r)

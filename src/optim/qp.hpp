@@ -94,6 +94,7 @@ struct QpPerfCounters {
   std::size_t ipm_iterations = 0;
   std::size_t factorizations = 0;      ///< KKT factorizations, any path
   std::size_t schur_solves = 0;        ///< block-elimination factorizations
+  std::size_t schur_regularizations = 0;  ///< Schur solves with a shifted S
   std::size_t dense_fallbacks = 0;     ///< full dense KKT LU factorizations
   std::size_t warm_starts = 0;         ///< solves seeded from a warm start
   std::size_t workspace_growths = 0;   ///< solves that grew any buffer

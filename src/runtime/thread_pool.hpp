@@ -91,10 +91,11 @@ void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
   for (std::size_t w = 0; w < helpers; ++w) {
     pool.submit([&]() {
       drain();
-      {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        pending.fetch_sub(1, std::memory_order_relaxed);
-      }
+      // Notify while still holding the lock: the caller's wait cannot
+      // observe pending == 0 and return (destroying the stack-local cv and
+      // mutex) until this helper is done touching them.
+      std::lock_guard<std::mutex> lock(done_mutex);
+      pending.fetch_sub(1, std::memory_order_relaxed);
       done_cv.notify_one();
     });
   }

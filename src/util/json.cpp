@@ -79,7 +79,13 @@ JsonWriter& JsonWriter::value(double v) {
   return *this;
 }
 
-JsonWriter& JsonWriter::value(long v) {
+JsonWriter& JsonWriter::value(long long v) {
+  comma_if_needed();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
   comma_if_needed();
   out_ << v;
   return *this;

@@ -31,8 +31,19 @@ class JsonWriter {
   JsonWriter& value(const std::string& s);
   JsonWriter& value(const char* s);
   JsonWriter& value(double v);
-  JsonWriter& value(long v);
-  JsonWriter& value(int v) { return value(static_cast<long>(v)); }
+  // One exact-match overload per standard integer type, so 64-bit fields
+  // (std::size_t counters, std::uint64_t timings) emit without narrowing on
+  // any platform — long is only 32-bit on LLP64 (Windows).
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned long v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned int v) {
+    return value(static_cast<unsigned long long>(v));
+  }
   JsonWriter& value(bool b);
   /// Splice an already-rendered JSON document in value position (e.g. the
   /// output of another writer). The caller guarantees it is valid JSON.

@@ -201,6 +201,30 @@ TEST(SchurKkt, NoEqualitiesReducesToCholesky) {
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(dx[i], expect[i], kTol);
 }
 
+// A rank-deficient equality block makes the Schur complement singular; the
+// solver repairs it with a diagonal shift but must report that the solve is
+// of a perturbed system, and a following clean factorization must clear the
+// flag again.
+TEST(SchurKkt, ReportsRegularizedFactorization) {
+  SplitMix64 rng(12);
+  const std::size_t n = 16;
+  const std::size_t me = 4;
+  const num::Matrix k = random_spd(n, rng);
+  num::Matrix e = random_matrix(me, n, rng);
+
+  num::SchurKktSolver schur;
+  ASSERT_TRUE(schur.factorize(k, e));
+  EXPECT_FALSE(schur.regularized());
+
+  for (std::size_t c = 0; c < n; ++c) e(me - 1, c) = e(0, c);  // duplicate row
+  ASSERT_TRUE(schur.factorize(k, e));
+  EXPECT_TRUE(schur.regularized());
+
+  for (std::size_t c = 0; c < n; ++c) e(me - 1, c) = rng.uniform(-1, 1);
+  ASSERT_TRUE(schur.factorize(k, e));
+  EXPECT_FALSE(schur.regularized());
+}
+
 // Refactorizing a SchurKktSolver with new values (same structure) must not
 // carry any state from the previous factorization.
 TEST(SchurKkt, RefactorizeIsStateless) {
