@@ -76,6 +76,7 @@ void write_counters(JsonWriter& json, const opt::QpPerfCounters& c) {
   json.key("schur_solves").value(c.schur_solves);
   json.key("schur_regularizations").value(c.schur_regularizations);
   json.key("dense_fallbacks").value(c.dense_fallbacks);
+  json.key("timeouts").value(c.timeouts);
   json.key("warm_starts").value(c.warm_starts);
   json.key("workspace_growths").value(c.workspace_growths);
   json.key("peak_workspace_bytes").value(c.peak_workspace_bytes);

@@ -1,5 +1,6 @@
 #include "battery/soc_model.hpp"
 
+#include <cassert>
 #include <cmath>
 
 #include "util/expect.hpp"
@@ -30,6 +31,11 @@ double PeukertSocModel::current_for_power(double power_w, double ocv_v) const {
 
 double PeukertSocModel::soc_delta(double current_a, double dt_s) const {
   EVC_EXPECT(dt_s >= 0.0, "time step must be >= 0");
+  // A non-finite ampere reading (corrupted telemetry) must not integrate
+  // into the SoC state — coulomb counting is cumulative and one NaN would
+  // stick forever. Hold the SoC instead; debug builds assert.
+  assert(std::isfinite(current_a) && "pack current must be finite");
+  if (!std::isfinite(current_a)) return 0.0;
   const double capacity_c =
       units::ah_to_coulomb(params_.nominal_capacity_ah);
   return -100.0 * effective_current(current_a) * dt_s / capacity_c;

@@ -1,5 +1,7 @@
 #include "battery/soh_model.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "util/expect.hpp"
@@ -23,10 +25,26 @@ CycleStress SohModel::stress_of_trace(
 double SohModel::delta_soh(const CycleStress& drive_stress) const {
   EVC_EXPECT(drive_stress.soc_deviation >= 0.0,
              "SoC deviation must be >= 0");
-  const double dev =
-      drive_stress.soc_deviation + params_.charge_phase_dev_percent;
-  const double avg =
-      0.5 * (drive_stress.soc_average + params_.charge_phase_avg_percent);
+  // Corrupted SoC telemetry can place the cycle stress far outside what a
+  // pack can physically exhibit, and e^(α·dev) then overflows to Inf and
+  // poisons every downstream lifetime figure. Clamp both stress inputs to
+  // the representable [0, 100] band (non-finite collapses to the band edge
+  // nearest zero); debug builds assert so genuine model bugs stay loud.
+  assert(drive_stress.soc_deviation <= 100.0 &&
+         "SoC deviation above the 0-100 band");
+  assert(drive_stress.soc_average >= 0.0 &&
+         drive_stress.soc_average <= 100.0 &&
+         "SoC average outside the 0-100 band");
+  const double deviation =
+      std::isfinite(drive_stress.soc_deviation)
+          ? std::min(drive_stress.soc_deviation, 100.0)
+          : 0.0;
+  const double average =
+      std::isfinite(drive_stress.soc_average)
+          ? std::clamp(drive_stress.soc_average, 0.0, 100.0)
+          : 0.0;
+  const double dev = deviation + params_.charge_phase_dev_percent;
+  const double avg = 0.5 * (average + params_.charge_phase_avg_percent);
   return (params_.soh_a1 * std::exp(params_.soh_alpha * dev) +
           params_.soh_a2) *
          (params_.soh_a3 * std::exp(params_.soh_beta * avg));

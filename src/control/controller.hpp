@@ -28,6 +28,19 @@ struct ControlContext {
   std::vector<double> outside_temp_forecast_c;
 };
 
+/// Self-reported health of a controller's most recent decide() call — the
+/// hook the fault-tolerant supervisor uses to drive its fallback chain
+/// without depending on any concrete controller type. Reactive controllers
+/// are always healthy (the default); solver-backed controllers report
+/// degradation when the underlying optimization did not produce an
+/// applicable plan (timeout, iteration cap with a bad iterate, numerical
+/// failure).
+struct DecisionHealth {
+  bool degraded = false;
+  /// Static human-readable cause (never null); "" when healthy.
+  const char* reason = "";
+};
+
 class ClimateController {
  public:
   virtual ~ClimateController() = default;
@@ -37,6 +50,8 @@ class ClimateController {
   virtual hvac::HvacInputs decide(const ControlContext& context) = 0;
   /// Clear internal state (hysteresis mode, integrators, warm starts).
   virtual void reset() {}
+  /// Health of the most recent decide() (see DecisionHealth).
+  virtual DecisionHealth last_health() const { return {}; }
 };
 
 }  // namespace evc::ctl

@@ -1,0 +1,279 @@
+#include "control/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::ctl {
+
+namespace {
+
+/// Repair one scalar: non-finite → fallback; out of [lo, hi] → clamp.
+/// Returns true when the value was rewritten.
+bool repair(double& value, double fallback, double lo, double hi) {
+  if (!std::isfinite(value)) {
+    value = std::clamp(fallback, lo, hi);
+    return true;
+  }
+  if (value < lo || value > hi) {
+    value = std::clamp(value, lo, hi);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SupervisedController::SupervisedController(
+    std::vector<std::unique_ptr<ClimateController>> tiers,
+    hvac::HvacParams params, SupervisorOptions options)
+    : tiers_(std::move(tiers)), params_(params), options_(options) {
+  params_.validate();
+  EVC_EXPECT(!tiers_.empty(), "supervisor needs at least one tier");
+  for (const auto& tier : tiers_)
+    EVC_EXPECT(tier != nullptr, "supervisor tier must not be null");
+  EVC_EXPECT(options_.promote_after >= 1,
+             "promotion hysteresis must be at least one step");
+  EVC_EXPECT(options_.min_temp_c < options_.max_temp_c,
+             "sanitation temperature range is empty");
+  EVC_EXPECT(options_.step_deadline_s >= 0.0,
+             "step deadline must be >= 0");
+  stats_.tier_steps.assign(num_tiers(), 0);
+}
+
+std::string SupervisedController::name() const {
+  return "Supervised " + tiers_.front()->name();
+}
+
+std::string SupervisedController::tier_name(std::size_t i) const {
+  if (i >= tiers_.size()) return "safe-hold";
+  return tiers_[i]->name();
+}
+
+void SupervisedController::reset() {
+  for (auto& tier : tiers_) tier->reset();
+  stats_ = SupervisorStats{};
+  stats_.tier_steps.assign(num_tiers(), 0);
+  current_tier_ = 0;
+  last_applied_tier_ = 0;
+  healthy_streak_ = 0;
+  have_last_good_ = false;
+  have_safe_output_ = false;
+}
+
+ControlContext SupervisedController::sanitize(const ControlContext& context) {
+  ControlContext clean = context;
+  std::size_t repaired = 0;
+
+  // Scalars: last-good-value hold for sensor silence, plausibility clamp
+  // for wild-but-finite readings. Before any good sample exists the comfort
+  // target / a mid-range SoC stand in.
+  const double cabin_fb =
+      have_last_good_ ? last_good_cabin_c_ : params_.target_temp_c;
+  const double outside_fb =
+      have_last_good_ ? last_good_outside_c_ : params_.target_temp_c;
+  const double soc_fb = have_last_good_ ? last_good_soc_ : 50.0;
+  repaired += repair(clean.cabin_temp_c, cabin_fb, options_.min_temp_c,
+                     options_.max_temp_c);
+  repaired += repair(clean.outside_temp_c, outside_fb, options_.min_temp_c,
+                     options_.max_temp_c);
+  repaired += repair(clean.soc_percent, soc_fb, 0.0, 100.0);
+
+  // dt must stay positive or downstream rate computations divide by zero.
+  if (!std::isfinite(clean.dt_s) || clean.dt_s <= 0.0) {
+    clean.dt_s = 1.0;
+    ++repaired;
+  }
+  if (!std::isfinite(clean.time_s)) {
+    clean.time_s = 0.0;
+    ++repaired;
+  }
+
+  // Forecasts: a corrupted entry falls back to the (sanitized) current
+  // value — zero extra power, current ambient — rather than poisoning the
+  // whole MPC window.
+  for (double& p : clean.motor_power_forecast_w)
+    if (!std::isfinite(p)) {
+      p = 0.0;
+      ++repaired;
+    }
+  for (double& temp : clean.outside_temp_forecast_c)
+    repaired += repair(temp, clean.outside_temp_c, options_.min_temp_c,
+                       options_.max_temp_c);
+
+  have_last_good_ = true;
+  last_good_cabin_c_ = clean.cabin_temp_c;
+  last_good_outside_c_ = clean.outside_temp_c;
+  last_good_soc_ = clean.soc_percent;
+
+  if (repaired > 0) {
+    ++stats_.sanitized_steps;
+    stats_.sanitized_values += repaired;
+  }
+  return clean;
+}
+
+bool SupervisedController::output_ok(const hvac::HvacInputs& in) const {
+  // The actuator box, with a hair of slack for soft-constrained solver
+  // iterates: C1 flow, C6 supply ceiling, C7 damper range. Coil and supply
+  // temperatures are bounded by physical plausibility rather than the C5
+  // frost limit: a pass-through coil legitimately reads below 4 °C in cold
+  // ambient (the plant clamps against the mixed temperature itself).
+  constexpr double kEps = 1e-6;
+  if (!std::isfinite(in.supply_temp_c) || !std::isfinite(in.coil_temp_c) ||
+      !std::isfinite(in.recirculation) || !std::isfinite(in.air_flow_kg_s))
+    return false;
+  if (in.air_flow_kg_s < params_.min_air_flow_kg_s - kEps ||
+      in.air_flow_kg_s > params_.max_air_flow_kg_s + kEps)
+    return false;
+  if (in.recirculation < -kEps ||
+      in.recirculation > params_.max_recirculation + kEps)
+    return false;
+  if (in.supply_temp_c > params_.max_supply_temp_c + kEps ||
+      in.supply_temp_c < options_.min_temp_c)
+    return false;
+  if (in.coil_temp_c < options_.min_temp_c ||
+      in.coil_temp_c > options_.max_temp_c)
+    return false;
+  return true;
+}
+
+hvac::HvacInputs SupervisedController::safe_hold(
+    const ControlContext& context) const {
+  if (have_safe_output_) return last_safe_output_;
+  // No trusted actuation yet: minimum ventilation, coils pass-through.
+  hvac::HvacInputs in;
+  in.recirculation = 0.5;
+  const double tm = (1.0 - in.recirculation) * context.outside_temp_c +
+                    in.recirculation * context.cabin_temp_c;
+  in.air_flow_kg_s = params_.min_air_flow_kg_s;
+  in.coil_temp_c = std::clamp(tm, params_.min_coil_temp_c,
+                              params_.max_supply_temp_c);
+  in.supply_temp_c = in.coil_temp_c;
+  return in;
+}
+
+hvac::HvacInputs SupervisedController::decide(const ControlContext& context) {
+  using Clock = std::chrono::steady_clock;
+  ++stats_.steps;
+  const ControlContext clean = sanitize(context);
+
+  const std::size_t safe_tier = tiers_.size();
+  hvac::HvacInputs output;
+  std::size_t applied = safe_tier;
+  bool applied_healthy_controller = false;
+
+  for (std::size_t tier = current_tier_; tier < tiers_.size(); ++tier) {
+    const Clock::time_point t0 = Clock::now();
+    hvac::HvacInputs candidate = tiers_[tier]->decide(clean);
+    const double elapsed_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    bool healthy = true;
+    if (options_.step_deadline_s > 0.0 &&
+        elapsed_s > options_.step_deadline_s) {
+      ++stats_.deadline_misses;
+      healthy = false;
+    }
+    if (tiers_[tier]->last_health().degraded) {
+      ++stats_.health_degradations;
+      healthy = false;
+    }
+    if (!output_ok(candidate)) {
+      ++stats_.invalid_outputs;
+      healthy = false;
+    }
+    if (healthy) {
+      output = candidate;
+      applied = tier;
+      applied_healthy_controller = true;
+      break;
+    }
+  }
+
+  if (!applied_healthy_controller) {
+    output = safe_hold(clean);
+    applied = safe_tier;
+  }
+
+  // Terminal guarantee: whatever produced the actuation, what leaves the
+  // supervisor is finite and inside the box. The clamp only rewrites values
+  // output_ok() already rejected (safe-hold's synthesized inputs pass by
+  // construction), so a healthy tier's bytes are untouched.
+  if (!output_ok(output)) {
+    ++stats_.output_clamps;
+    hvac::HvacInputs safe = safe_hold(clean);
+    const auto pick = [](double v, double lo, double hi, double fb) {
+      return std::isfinite(v) ? std::clamp(v, lo, hi) : fb;
+    };
+    output.air_flow_kg_s =
+        pick(output.air_flow_kg_s, params_.min_air_flow_kg_s,
+             params_.max_air_flow_kg_s, safe.air_flow_kg_s);
+    output.recirculation = pick(output.recirculation, 0.0,
+                                params_.max_recirculation, safe.recirculation);
+    output.supply_temp_c =
+        pick(output.supply_temp_c, options_.min_temp_c,
+             params_.max_supply_temp_c, safe.supply_temp_c);
+    output.coil_temp_c = pick(output.coil_temp_c, params_.min_coil_temp_c,
+                              options_.max_temp_c, safe.coil_temp_c);
+  }
+
+  // Tier bookkeeping: demote immediately to whichever tier actually
+  // actuated; promote one level only after a healthy streak (hysteresis).
+  stats_.tier_steps[applied] += 1;
+  last_applied_tier_ = applied;
+  if (applied > current_tier_) {
+    stats_.demotions += 1;
+    current_tier_ = applied;
+    healthy_streak_ = 0;
+  } else {
+    ++healthy_streak_;
+    if (current_tier_ > 0 && healthy_streak_ >= options_.promote_after) {
+      stats_.promotions += 1;
+      current_tier_ -= 1;
+      healthy_streak_ = 0;
+    }
+  }
+
+  have_safe_output_ = true;
+  last_safe_output_ = output;
+  return output;
+}
+
+PidClimateController::PidClimateController(hvac::HvacParams params)
+    : PidClimateController(params, PidGains{0.6, 0.02, 0.0, -1.0, 1.0}) {}
+
+PidClimateController::PidClimateController(hvac::HvacParams params,
+                                           PidGains gains)
+    : params_(params), pid_(gains) {
+  params_.validate();
+}
+
+hvac::HvacInputs PidClimateController::decide(const ControlContext& context) {
+  // Positive error (cold cabin) commands heating (u > 0).
+  const double error = params_.target_temp_c - context.cabin_temp_c;
+  const double u = pid_.update(error, context.dt_s);
+
+  hvac::HvacInputs in;
+  in.recirculation = 0.5;
+  const double tm = (1.0 - in.recirculation) * context.outside_temp_c +
+                    in.recirculation * context.cabin_temp_c;
+  in.air_flow_kg_s =
+      params_.min_air_flow_kg_s +
+      std::abs(u) * (params_.max_air_flow_kg_s - params_.min_air_flow_kg_s);
+  if (u >= 0.0) {
+    in.coil_temp_c = std::max(tm, params_.min_coil_temp_c);
+    in.supply_temp_c = in.coil_temp_c +
+                       u * (params_.max_supply_temp_c - in.coil_temp_c);
+  } else {
+    in.coil_temp_c = tm + (-u) * (params_.min_coil_temp_c - tm);
+    in.coil_temp_c = std::max(in.coil_temp_c, params_.min_coil_temp_c);
+    in.supply_temp_c = in.coil_temp_c;  // no reheat
+  }
+  in.supply_temp_c = std::min(in.supply_temp_c, params_.max_supply_temp_c);
+  return in;
+}
+
+}  // namespace evc::ctl

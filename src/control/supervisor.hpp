@@ -1,0 +1,138 @@
+// Fault-tolerant control supervisor: input sanitation, per-step deadline
+// watchdog, and a graceful-degradation fallback chain.
+//
+// A real vehicle ECU cannot forward a NaN from a glitched sensor into an
+// optimizer, nor hold the cabin hostage to a solver that missed its
+// deadline. The SupervisedController wraps an ordered list of tiers —
+// canonically full MPC → relaxed MPC → PID → On/Off — behind one
+// ClimateController facade and guarantees, for every step:
+//   * the wrapped controllers only ever see sanitized inputs (NaN/Inf and
+//     out-of-range values replaced by last-good-value hold + clamp),
+//   * the emitted actuation is finite and inside the actuator box,
+//   * a tier that reports degraded health (DecisionHealth), emits bad
+//     actuation, or blows the step deadline is demoted away from
+//     immediately — the next tier decides in the same step,
+//   * recovery is hysteretic: a degraded tier must look healthy for
+//     `promote_after` consecutive steps before the tier above is probed
+//     again, so the chain cannot flap at the fault rate.
+// A terminal safe-hold tier (hold last healthy actuation, else minimum
+// ventilation pass-through) is built in and cannot fail.
+//
+// When every input is clean and the preferred tier healthy, the supervisor
+// is a bit-exact pass-through: sanitation only rewrites values that are
+// actually bad, so supervised and unsupervised runs produce byte-identical
+// traces on fault-free scenarios (tested).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/pid.hpp"
+#include "hvac/hvac_params.hpp"
+
+namespace evc::ctl {
+
+struct SupervisorOptions {
+  /// Per-step wall-clock deadline for one tier's decide() (s); a miss marks
+  /// the tier unhealthy for this step. 0 disables the watchdog.
+  double step_deadline_s = 0.0;
+  /// Consecutive healthy steps at a degraded tier before the tier above is
+  /// probed again (recovery hysteresis; ≥ 1).
+  std::size_t promote_after = 8;
+  /// Plausibility range for temperature sensors (°C); values outside are
+  /// clamped and counted.
+  double min_temp_c = -60.0;
+  double max_temp_c = 90.0;
+};
+
+/// Counters for every intervention the supervisor makes. `tier_steps[i]` is
+/// the number of steps actuated by tier i (the safe-hold tier is the last
+/// entry) — the "fallback occupancy" reported by the robustness bench.
+struct SupervisorStats {
+  std::size_t steps = 0;
+  std::size_t sanitized_steps = 0;   ///< steps with ≥ 1 repaired input
+  std::size_t sanitized_values = 0;  ///< individual repaired input values
+  std::size_t deadline_misses = 0;
+  std::size_t health_degradations = 0;  ///< tier self-reported degraded
+  std::size_t invalid_outputs = 0;  ///< non-finite / out-of-box actuation
+  std::size_t output_clamps = 0;    ///< emitted actuation pulled into box
+  std::size_t demotions = 0;
+  std::size_t promotions = 0;
+  std::vector<std::size_t> tier_steps;
+};
+
+class SupervisedController : public ClimateController {
+ public:
+  /// `tiers` in degradation order, tiers[0] = preferred. At least one. The
+  /// terminal safe-hold tier is internal — do not include it.
+  SupervisedController(std::vector<std::unique_ptr<ClimateController>> tiers,
+                       hvac::HvacParams params,
+                       SupervisorOptions options = {});
+
+  std::string name() const override;
+  hvac::HvacInputs decide(const ControlContext& context) override;
+  void reset() override;
+
+  const SupervisorStats& stats() const { return stats_; }
+  const SupervisorOptions& options() const { return options_; }
+  /// Index of the tier currently trusted (0 = preferred; num_tiers() − 1 =
+  /// safe-hold).
+  std::size_t current_tier() const { return current_tier_; }
+  /// Wrapped tiers + 1 for the internal safe-hold.
+  std::size_t num_tiers() const { return tiers_.size() + 1; }
+  /// Display name of tier `i` ("safe-hold" for the terminal tier).
+  std::string tier_name(std::size_t i) const;
+  /// Borrow wrapped tier `i` (i < num_tiers() − 1; the internal safe-hold
+  /// has no controller object) — e.g. to read tier-specific telemetry.
+  const ClimateController& tier(std::size_t i) const { return *tiers_.at(i); }
+  /// Tier that actuated the most recent step.
+  std::size_t last_applied_tier() const { return last_applied_tier_; }
+
+ private:
+  ControlContext sanitize(const ControlContext& context);
+  hvac::HvacInputs safe_hold(const ControlContext& context) const;
+  bool output_ok(const hvac::HvacInputs& inputs) const;
+
+  std::vector<std::unique_ptr<ClimateController>> tiers_;
+  hvac::HvacParams params_;
+  SupervisorOptions options_;
+  SupervisorStats stats_;
+
+  std::size_t current_tier_ = 0;
+  std::size_t last_applied_tier_ = 0;
+  std::size_t healthy_streak_ = 0;
+
+  // Last-good-value hold for the sanitizer.
+  bool have_last_good_ = false;
+  double last_good_cabin_c_ = 0.0;
+  double last_good_outside_c_ = 0.0;
+  double last_good_soc_ = 0.0;
+
+  // Safe-hold state: last actuation that passed the output checks.
+  bool have_safe_output_ = false;
+  hvac::HvacInputs last_safe_output_;
+};
+
+/// PID fallback tier: a single PID on the cabin-temperature error commands
+/// one heat/cool effort u ∈ [−1, 1], mapped onto the actuator box with the
+/// same demand-scheduled actuation the fuzzy baseline uses. Deterministic,
+/// allocation-free, microseconds per step — the workhorse degraded mode
+/// when the optimizer is distrusted.
+class PidClimateController : public ClimateController {
+ public:
+  explicit PidClimateController(hvac::HvacParams params);
+  PidClimateController(hvac::HvacParams params, PidGains gains);
+
+  std::string name() const override { return "PID fallback"; }
+  hvac::HvacInputs decide(const ControlContext& context) override;
+  void reset() override { pid_.reset(); }
+
+ private:
+  hvac::HvacParams params_;
+  Pid pid_;
+};
+
+}  // namespace evc::ctl

@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+
 #include "control/fuzzy_controller.hpp"
 #include "control/onoff_controller.hpp"
 #include "util/expect.hpp"
@@ -22,6 +24,37 @@ std::unique_ptr<MpcClimateController> make_mpc_controller(
   opts.accessory_power_w = params.vehicle.accessory_power_w;
   return std::make_unique<MpcClimateController>(params.hvac, params.battery,
                                                 opts);
+}
+
+MpcOptions make_relaxed_mpc_options(const MpcOptions& options) {
+  MpcOptions relaxed = options;
+  relaxed.name = "Relaxed MPC";
+  relaxed.horizon = std::max<std::size_t>(4, options.horizon / 2);
+  relaxed.sqp.max_iterations =
+      std::max<std::size_t>(2, options.sqp.max_iterations / 2);
+  relaxed.sqp.step_tolerance = options.sqp.step_tolerance * 10.0;
+  relaxed.sqp.constraint_tolerance = options.sqp.constraint_tolerance * 10.0;
+  relaxed.sqp.qp.max_iterations =
+      std::max<std::size_t>(10, options.sqp.qp.max_iterations / 2);
+  // A hard wall-clock budget of its own, NOT inherited from the parent: the
+  // relaxed tier exists to give a dependable answer when the full tier is
+  // starved, and inheriting a starved budget would starve the fallback too.
+  // The supervisor's deadline watchdog remains the real-time guard.
+  relaxed.sqp.time_budget_s = 0.05;
+  return relaxed;
+}
+
+std::unique_ptr<ctl::SupervisedController> make_supervised_mpc_controller(
+    const EvParams& params, const MpcOptions& options,
+    const ctl::SupervisorOptions& supervisor_options) {
+  std::vector<std::unique_ptr<ctl::ClimateController>> tiers;
+  tiers.push_back(make_mpc_controller(params, options));
+  tiers.push_back(
+      make_mpc_controller(params, make_relaxed_mpc_options(options)));
+  tiers.push_back(std::make_unique<ctl::PidClimateController>(params.hvac));
+  tiers.push_back(make_onoff_controller(params));
+  return std::make_unique<ctl::SupervisedController>(
+      std::move(tiers), params.hvac, supervisor_options);
 }
 
 std::vector<ControllerRun> compare_controllers(

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "control/controller.hpp"
+#include "control/supervisor.hpp"
 #include "core/ev_model.hpp"
 #include "core/mpc_controller.hpp"
 #include "core/simulation.hpp"
@@ -21,6 +22,19 @@ std::unique_ptr<ctl::ClimateController> make_fuzzy_controller(
     const EvParams& params);
 std::unique_ptr<MpcClimateController> make_mpc_controller(
     const EvParams& params, const MpcOptions& options = {});
+
+/// A relaxed variant of `options` used as the first fallback tier: shorter
+/// horizon, looser tolerances, fewer iterations and a hard solve-time
+/// budget — trades optimality for a bounded, dependable answer.
+MpcOptions make_relaxed_mpc_options(const MpcOptions& options);
+
+/// The canonical fault-tolerant chain of §ROBUSTNESS: full MPC → relaxed
+/// MPC → PID → On/Off, wrapped in a SupervisedController (input sanitation,
+/// deadline watchdog, hysteretic recovery). With clean inputs and a healthy
+/// solver this is byte-identical to make_mpc_controller's output.
+std::unique_ptr<ctl::SupervisedController> make_supervised_mpc_controller(
+    const EvParams& params, const MpcOptions& options = {},
+    const ctl::SupervisorOptions& supervisor_options = {});
 
 struct ControllerRun {
   std::string controller;

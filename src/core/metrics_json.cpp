@@ -50,6 +50,11 @@ std::string to_json(const MpcPlanStats& stats) {
   json.key("qp_iterations").value(stats.qp_iterations);
   json.key("solve_time_ns").value(stats.solve_time_ns);
   json.key("dual_warm_starts").value(stats.dual_warm_starts);
+  json.key("converged").value(stats.converged);
+  json.key("max_iteration_exits").value(stats.max_iteration_exits);
+  json.key("timeouts").value(stats.timeouts);
+  json.key("numerical_failures").value(stats.numerical_failures);
+  json.key("rejected_plans").value(stats.rejected_plans);
   json.key("solver");
   json.begin_object();
   json.key("solves").value(stats.solver.solves);
@@ -58,11 +63,48 @@ std::string to_json(const MpcPlanStats& stats) {
   json.key("schur_solves").value(stats.solver.schur_solves);
   json.key("schur_regularizations").value(stats.solver.schur_regularizations);
   json.key("dense_fallbacks").value(stats.solver.dense_fallbacks);
+  json.key("timeouts").value(stats.solver.timeouts);
   json.key("warm_starts").value(stats.solver.warm_starts);
   json.key("workspace_growths").value(stats.solver.workspace_growths);
   json.key("peak_workspace_bytes").value(stats.solver.peak_workspace_bytes);
   json.end_object();
   json.key("workspace_bytes").value(stats.solver_workspace_bytes);
+  json.end_object();
+  return json.str();
+}
+
+std::string to_json(const ctl::SupervisorStats& stats) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("steps").value(stats.steps);
+  json.key("sanitized_steps").value(stats.sanitized_steps);
+  json.key("sanitized_values").value(stats.sanitized_values);
+  json.key("deadline_misses").value(stats.deadline_misses);
+  json.key("health_degradations").value(stats.health_degradations);
+  json.key("invalid_outputs").value(stats.invalid_outputs);
+  json.key("output_clamps").value(stats.output_clamps);
+  json.key("demotions").value(stats.demotions);
+  json.key("promotions").value(stats.promotions);
+  json.key("tier_steps");
+  json.begin_array();
+  for (std::size_t steps : stats.tier_steps) json.value(steps);
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string to_json(const sim::FaultInjectionStats& stats) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("steps").value(stats.steps);
+  json.key("faulted_steps").value(stats.faulted_steps);
+  json.key("episodes").value(stats.episodes);
+  json.key("bias_steps").value(stats.bias_steps);
+  json.key("stuck_steps").value(stats.stuck_steps);
+  json.key("dropout_steps").value(stats.dropout_steps);
+  json.key("stale_steps").value(stats.stale_steps);
+  json.key("spike_steps").value(stats.spike_steps);
+  json.key("quantization_steps").value(stats.quantization_steps);
   json.end_object();
   return json.str();
 }

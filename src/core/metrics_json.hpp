@@ -4,9 +4,11 @@
 #include <string>
 #include <vector>
 
+#include "control/supervisor.hpp"
 #include "core/experiment.hpp"
 #include "core/metrics.hpp"
 #include "core/mpc_controller.hpp"
+#include "sim/fault_injection.hpp"
 
 namespace evc::core {
 
@@ -21,5 +23,12 @@ std::string to_json(const MpcPlanStats& stats);
 /// A controller comparison (e.g. from compare_controllers) as a JSON array
 /// of {controller, metrics} objects.
 std::string to_json(const std::vector<ControllerRun>& runs);
+
+/// Supervisor intervention counters (sanitized inputs, deadline misses,
+/// demotions/promotions, per-tier fallback occupancy) as a JSON object.
+std::string to_json(const ctl::SupervisorStats& stats);
+
+/// Fault-injection activity counters as a JSON object.
+std::string to_json(const sim::FaultInjectionStats& stats);
 
 }  // namespace evc::core

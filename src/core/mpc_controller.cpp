@@ -27,7 +27,32 @@ void MpcClimateController::reset() {
   next_plan_time_s_ = 0.0;
   planned_soc_.clear();
   stats_ = MpcPlanStats{};
+  last_plan_status_ = opt::SolveStatus::kConverged;
+  last_plan_applied_ = true;
   solver_.reset_qp_counters();
+}
+
+ctl::DecisionHealth MpcClimateController::last_health() const {
+  if (last_plan_applied_) {
+    // A timed-out plan may still be applied (finite, near-feasible
+    // best-effort iterate — often just the warm-started shift of the
+    // previous plan), but it earned no trust: report degraded so a
+    // supervisor can hand the step to a tier with an adequate budget.
+    if (last_plan_status_ == opt::SolveStatus::kTimeout)
+      return {true, "mpc solver timeout (best-effort plan applied)"};
+    return {};
+  }
+  switch (last_plan_status_) {
+    case opt::SolveStatus::kTimeout:
+      return {true, "mpc solver timeout"};
+    case opt::SolveStatus::kNumericalFailure:
+      return {true, "mpc solver numerical failure"};
+    case opt::SolveStatus::kMaxIterations:
+      return {true, "mpc plan rejected at iteration cap"};
+    case opt::SolveStatus::kConverged:
+      return {true, "mpc plan rejected"};
+  }
+  return {true, "mpc plan rejected"};
 }
 
 MpcWindowData MpcClimateController::make_window(
@@ -142,9 +167,46 @@ hvac::HvacInputs MpcClimateController::decide(
   stats_.solver = solver_.qp_counters();
   stats_.solver_workspace_bytes = solver_.workspace_bytes();
 
+  // Branch on the structured solver outcome — a numerical failure is never
+  // applied, and a timeout / iteration-capped iterate is applied only if it
+  // is finite and near-feasible.
+  const opt::SolveStatus status = opt::solve_status(result.status);
+  last_plan_status_ = status;
+  switch (status) {
+    case opt::SolveStatus::kConverged:
+      ++stats_.converged;
+      break;
+    case opt::SolveStatus::kMaxIterations:
+      ++stats_.max_iteration_exits;
+      break;
+    case opt::SolveStatus::kTimeout:
+      ++stats_.timeouts;
+      break;
+    case opt::SolveStatus::kNumericalFailure:
+      ++stats_.numerical_failures;
+      break;
+  }
+
+  const MpcIndex& idx = formulation.index();
+  bool accept = status != opt::SolveStatus::kNumericalFailure &&
+                result.constraint_violation < 0.5;
+  if (accept) {
+    // A best-effort iterate (timeout / max-iterations) must still actuate
+    // with finite values; check the inputs that will be applied.
+    const double first[] = {result.x[idx.ts(0)], result.x[idx.tc(0)],
+                            result.x[idx.dr(0)], result.x[idx.mz(0)]};
+    for (const double v : first)
+      if (!std::isfinite(v)) {
+        accept = false;
+        break;
+      }
+    if (!accept) ++stats_.rejected_plans;
+  } else if (status != opt::SolveStatus::kNumericalFailure) {
+    ++stats_.rejected_plans;
+  }
+
   hvac::HvacInputs input;
-  if (result.usable() && result.constraint_violation < 0.5) {
-    const MpcIndex& idx = formulation.index();
+  if (accept) {
     input.supply_temp_c = result.x[idx.ts(0)];
     input.coil_temp_c = result.x[idx.tc(0)];
     input.recirculation = result.x[idx.dr(0)];
@@ -162,6 +224,7 @@ hvac::HvacInputs MpcClimateController::decide(
     last_duals_.y_eq.assign(0, 0.0);
     last_duals_.z_ineq.assign(0, 0.0);
   }
+  last_plan_applied_ = accept;
 
   held_input_ = input;
   next_plan_time_s_ = context.time_s + options_.step_s;

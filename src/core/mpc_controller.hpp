@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "battery/battery_params.hpp"
 #include "control/controller.hpp"
@@ -37,6 +38,9 @@ struct MpcOptions {
   /// Model the Peukert rate-capacity effect inside the control window
   /// (see MpcWindowData::nonlinear_battery).
   bool nonlinear_battery = false;
+  /// Display name; lets variants (e.g. the supervisor's relaxed fallback
+  /// tier) stay distinguishable in comparisons and fallback-occupancy rows.
+  std::string name = "Battery Lifetime-aware MPC";
 
   MpcOptions() {
     // The receding horizon forgives small suboptimality; favour speed.
@@ -54,13 +58,22 @@ struct MpcOptions {
 /// Planning telemetry for tests/benches. `solver` aggregates the QP
 /// workspace's perf counters (interior-point iterations, factorizations,
 /// warm starts, workspace growth/peak bytes) over every plan since reset.
+/// The per-status counters partition `plans`: every solve lands in exactly
+/// one of converged / max_iteration_exits / timeouts / numerical_failures,
+/// and `rejected_plans` counts usable solves whose constraint violation was
+/// too large to apply (those also count toward `failures`).
 struct MpcPlanStats {
   std::size_t plans = 0;
-  std::size_t failures = 0;  ///< SQP could not produce a usable plan
+  std::size_t failures = 0;  ///< plans that fell back (unusable or rejected)
   std::size_t sqp_iterations = 0;
   std::size_t qp_iterations = 0;
   std::uint64_t solve_time_ns = 0;  ///< wall time spent inside SQP solves
   std::size_t dual_warm_starts = 0; ///< plans seeded with previous duals
+  std::size_t converged = 0;            ///< SolveStatus::kConverged solves
+  std::size_t max_iteration_exits = 0;  ///< SolveStatus::kMaxIterations
+  std::size_t timeouts = 0;             ///< SolveStatus::kTimeout
+  std::size_t numerical_failures = 0;   ///< SolveStatus::kNumericalFailure
+  std::size_t rejected_plans = 0;  ///< usable but violation too large
   opt::QpPerfCounters solver;
   std::size_t solver_workspace_bytes = 0;
 };
@@ -71,14 +84,22 @@ class MpcClimateController : public ctl::ClimateController {
                        bat::BatteryParams battery_params,
                        MpcOptions options = {});
 
-  std::string name() const override { return "Battery Lifetime-aware MPC"; }
+  std::string name() const override { return options_.name; }
   hvac::HvacInputs decide(const ctl::ControlContext& context) override;
   void reset() override;
+  /// Degraded while the most recent plan was not applied (solver timeout /
+  /// numerical failure / rejected iterate) — the supervisor's demotion
+  /// signal. Healthy between planning instants if the held plan was good.
+  ctl::DecisionHealth last_health() const override;
 
   const MpcPlanStats& stats() const { return stats_; }
   const MpcOptions& options() const { return options_; }
   /// Planned SoC trajectory of the last solve (empty before first plan).
   const std::vector<double>& planned_soc() const { return planned_soc_; }
+  /// Structured outcome of the most recent solve (converged before any).
+  opt::SolveStatus last_plan_status() const { return last_plan_status_; }
+  /// Whether the most recent solve's plan was applied to the actuators.
+  bool last_plan_applied() const { return last_plan_applied_; }
 
  private:
   MpcWindowData make_window(const ctl::ControlContext& context) const;
@@ -96,6 +117,8 @@ class MpcClimateController : public ctl::ClimateController {
   double next_plan_time_s_ = 0.0;
   std::vector<double> planned_soc_;
   MpcPlanStats stats_;
+  opt::SolveStatus last_plan_status_ = opt::SolveStatus::kConverged;
+  bool last_plan_applied_ = true;
 };
 
 }  // namespace evc::core

@@ -60,6 +60,11 @@ SimulationResult ClimateSimulation::run(
       context.outside_temp_forecast_c[j] = profile[i].ambient_c;
     }
 
+    // Sensor/forecast corruption happens between plant and controller: the
+    // controller decides from the faulted view, the plant stays truthful.
+    if (options.fault_injector != nullptr)
+      options.fault_injector->apply(context);
+
     // Algorithm 1 lines 16–22: decide, apply to the plant, update battery.
     const hvac::HvacInputs inputs = controller.decide(context);
     const EvStep step = ev.step(profile[t], inputs, dt);

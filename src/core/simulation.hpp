@@ -13,6 +13,7 @@
 #include "core/ev_model.hpp"
 #include "core/metrics.hpp"
 #include "drivecycle/drive_profile.hpp"
+#include "sim/fault_injection.hpp"
 #include "sim/recorder.hpp"
 
 namespace evc::core {
@@ -27,6 +28,10 @@ struct SimulationOptions {
   double forecast_horizon_s = 120.0;
   /// Record full traces (disable for parameter sweeps to save memory).
   bool record_traces = true;
+  /// Optional fault injector corrupting the ControlContext the controller
+  /// sees each step (the plant stays truthful). Not owned; the caller is
+  /// responsible for reset() between runs. nullptr = clean sensors.
+  sim::FaultInjector* fault_injector = nullptr;
 };
 
 struct SimulationResult {

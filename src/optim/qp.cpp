@@ -1,6 +1,7 @@
 #include "optim/qp.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -31,10 +32,26 @@ std::string to_string(QpStatus status) {
       return "solved";
     case QpStatus::kMaxIterations:
       return "max-iterations";
+    case QpStatus::kTimeout:
+      return "timeout";
     case QpStatus::kNumericalIssue:
       return "numerical-issue";
   }
   return "unknown";
+}
+
+SolveStatus solve_status(QpStatus status) {
+  switch (status) {
+    case QpStatus::kSolved:
+      return SolveStatus::kConverged;
+    case QpStatus::kMaxIterations:
+      return SolveStatus::kMaxIterations;
+    case QpStatus::kTimeout:
+      return SolveStatus::kTimeout;
+    case QpStatus::kNumericalIssue:
+      return SolveStatus::kNumericalFailure;
+  }
+  return SolveStatus::kNumericalFailure;
 }
 
 QpPerfCounters& QpPerfCounters::operator+=(const QpPerfCounters& rhs) {
@@ -44,6 +61,7 @@ QpPerfCounters& QpPerfCounters::operator+=(const QpPerfCounters& rhs) {
   schur_solves += rhs.schur_solves;
   schur_regularizations += rhs.schur_regularizations;
   dense_fallbacks += rhs.dense_fallbacks;
+  timeouts += rhs.timeouts;
   warm_starts += rhs.warm_starts;
   workspace_growths += rhs.workspace_growths;
   peak_workspace_bytes = std::max(peak_workspace_bytes,
@@ -238,7 +256,16 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
   }
 
   // ---- Interior point (Mehrotra predictor-corrector) ----
+  using Clock = std::chrono::steady_clock;
+  const bool deadline_active = options.time_budget_s > 0.0;
+  const Clock::time_point deadline =
+      deadline_active
+          ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   options.time_budget_s))
+          : Clock::time_point{};
   bool hard_failure = false;
+  bool timed_out = false;
   num::Vector& x = ws.x_;
   num::Vector& y = ws.y_;
   num::Vector& z = ws.z_;
@@ -279,6 +306,13 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
   double best_residual = std::numeric_limits<double>::infinity();
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Deadline watchdog: checked between iterations so the loop always
+    // leaves a coherent (x, y, z, s) behind — never a half-applied step.
+    if (deadline_active && iter > 0 && Clock::now() >= deadline) {
+      timed_out = true;
+      ++ws.counters_.timeouts;
+      break;
+    }
     result.iterations = iter + 1;
     ++ws.counters_.ipm_iterations;
     compute_residuals(x, y, z, s);
@@ -436,9 +470,11 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
     result.kkt_residual = best_residual;
     if (best_residual <= 1e-5 * scale)
       result.status = QpStatus::kSolved;
+    else if (hard_failure)
+      result.status = QpStatus::kNumericalIssue;
     else
       result.status =
-          hard_failure ? QpStatus::kNumericalIssue : QpStatus::kMaxIterations;
+          timed_out ? QpStatus::kTimeout : QpStatus::kMaxIterations;
   }
   for (std::size_t i = 0; i < n; ++i) result.x[i] = x[i];
   for (std::size_t i = 0; i < me; ++i) result.y_eq[i] = y[i];

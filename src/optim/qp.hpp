@@ -34,6 +34,7 @@
 #include "numerics/matrix.hpp"
 #include "numerics/schur_kkt.hpp"
 #include "numerics/vector.hpp"
+#include "optim/solve_status.hpp"
 
 namespace evc::opt {
 
@@ -55,8 +56,12 @@ struct QpProblem {
 enum class QpStatus {
   kSolved,
   kMaxIterations,   ///< best iterate returned; residuals not at tolerance
+  kTimeout,         ///< wall-clock budget exhausted; best iterate returned
   kNumericalIssue,  ///< KKT factorization failed even after regularization
 };
+
+/// Coarse classification for control-layer callers (see solve_status.hpp).
+SolveStatus solve_status(QpStatus status);
 
 struct QpResult {
   QpStatus status = QpStatus::kNumericalIssue;
@@ -74,6 +79,10 @@ struct QpOptions {
   std::size_t max_iterations = 60;
   double tolerance = 1e-8;      ///< residual + complementarity target
   double regularization = 1e-9; ///< added to H's diagonal before solving
+  /// Wall-clock budget for one solve (s); 0 disables the deadline. Checked
+  /// once per interior-point iteration, so an exhausted budget still returns
+  /// the best iterate seen (status kTimeout) rather than aborting mid-step.
+  double time_budget_s = 0.0;
 };
 
 /// Primal/dual seed for the interior-point iteration, typically the solution
@@ -96,6 +105,7 @@ struct QpPerfCounters {
   std::size_t schur_solves = 0;        ///< block-elimination factorizations
   std::size_t schur_regularizations = 0;  ///< Schur solves with a shifted S
   std::size_t dense_fallbacks = 0;     ///< full dense KKT LU factorizations
+  std::size_t timeouts = 0;            ///< solves that hit their wall budget
   std::size_t warm_starts = 0;         ///< solves seeded from a warm start
   std::size_t workspace_growths = 0;   ///< solves that grew any buffer
   std::size_t peak_workspace_bytes = 0;

@@ -1,0 +1,19 @@
+#include "optim/solve_status.hpp"
+
+namespace evc::opt {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kConverged:
+      return "converged";
+    case SolveStatus::kMaxIterations:
+      return "max-iterations";
+    case SolveStatus::kTimeout:
+      return "timeout";
+    case SolveStatus::kNumericalFailure:
+      return "numerical-failure";
+  }
+  return "unknown";
+}
+
+}  // namespace evc::opt

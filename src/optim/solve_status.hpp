@@ -1,0 +1,28 @@
+// Structured solver outcome shared by the QP and SQP layers.
+//
+// Callers used to receive the solver's last iterate with no signal about
+// *why* the iteration stopped; a supervisor cannot build a fallback chain on
+// that. SolveStatus is the common, coarse classification every solver in
+// optim/ maps its native status onto, so control-layer code (MPC controller,
+// fault-tolerant supervisor) can branch on one enum:
+//   kConverged        — tolerances met, result fully trustworthy,
+//   kMaxIterations    — budgeted iterations exhausted; best iterate returned,
+//   kTimeout          — wall-clock budget exhausted; best iterate returned,
+//   kNumericalFailure — no usable iterate (factorization failure/divergence);
+//                       the returned point must NOT be applied to a plant.
+#pragma once
+
+#include <string>
+
+namespace evc::opt {
+
+enum class SolveStatus {
+  kConverged,
+  kMaxIterations,
+  kTimeout,
+  kNumericalFailure,
+};
+
+std::string to_string(SolveStatus status);
+
+}  // namespace evc::opt

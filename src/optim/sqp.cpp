@@ -1,6 +1,7 @@
 #include "optim/sqp.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
@@ -15,10 +16,26 @@ std::string to_string(SqpStatus status) {
       return "converged";
     case SqpStatus::kMaxIterations:
       return "max-iterations";
+    case SqpStatus::kTimeout:
+      return "timeout";
     case SqpStatus::kQpFailure:
       return "qp-failure";
   }
   return "unknown";
+}
+
+SolveStatus solve_status(SqpStatus status) {
+  switch (status) {
+    case SqpStatus::kConverged:
+      return SolveStatus::kConverged;
+    case SqpStatus::kMaxIterations:
+      return SolveStatus::kMaxIterations;
+    case SqpStatus::kTimeout:
+      return SolveStatus::kTimeout;
+    case SqpStatus::kQpFailure:
+      return SolveStatus::kNumericalFailure;
+  }
+  return SolveStatus::kNumericalFailure;
 }
 
 namespace {
@@ -92,7 +109,31 @@ SqpResult SqpSolver::solve(const NlpProblem& problem, const num::Vector& x0,
   MeritEval cur = evaluate_merit(problem, a_mat, b_vec, result.x, ax_);
   bool have_duals = false;
 
+  using Clock = std::chrono::steady_clock;
+  const bool deadline_active = options_.time_budget_s > 0.0;
+  const Clock::time_point start = deadline_active ? Clock::now() : Clock::time_point{};
+  const auto remaining_s = [&]() {
+    return options_.time_budget_s -
+           std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
   for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // Deadline watchdog: give up between iterations (the iterate is always
+    // coherent there) and report kTimeout so the caller can degrade instead
+    // of silently trusting a half-optimized plan.
+    QpOptions qp_opts = options_.qp;
+    if (deadline_active) {
+      const double left = remaining_s();
+      if (iter > 0 && left <= 0.0) {
+        result.status = SqpStatus::kTimeout;
+        break;
+      }
+      // Cap the subproblem's own deadline at what is left of ours.
+      const double cap = std::max(left, 1e-4);
+      qp_opts.time_budget_s = qp_opts.time_budget_s > 0.0
+                                  ? std::min(qp_opts.time_budget_s, cap)
+                                  : cap;
+    }
     result.iterations = iter + 1;
     const num::Vector grad = problem.cost_gradient(result.x);
 
@@ -124,7 +165,7 @@ SqpResult SqpSolver::solve(const NlpProblem& problem, const num::Vector& x0,
     QpResult qp_result;
     double extra_reg = options_.hessian_regularization;
     for (int attempt = 0; attempt < 5; ++attempt) {
-      qp_result = solve_qp(qp_, options_.qp, qp_ws_, qp_seed);
+      qp_result = solve_qp(qp_, qp_opts, qp_ws_, qp_seed);
       // A usable result must also be finite — a diverged interior point
       // iterate poisons the line search otherwise.
       bool finite = qp_result.usable();
@@ -191,13 +232,18 @@ SqpResult SqpSolver::solve(const NlpProblem& problem, const num::Vector& x0,
       t *= 0.5;
     }
     if (!stepped) {
-      // The merit cannot be decreased along this direction (numerical
-      // stagnation). Accept convergence at the current iterate if it is
-      // feasible, otherwise report max-iterations with the best point.
-      result.status = (cur.eq_inf <= options_.constraint_tolerance &&
-                       cur.ineq_inf <= options_.constraint_tolerance)
-                          ? SqpStatus::kConverged
-                          : SqpStatus::kMaxIterations;
+      // The merit cannot be decreased along this direction. A starved QP
+      // subproblem (timeout after its first iterations) produces junk
+      // directions, so a failed line search says nothing then — surface the
+      // timeout instead of masking it as stagnation. Otherwise accept
+      // convergence at a feasible iterate or report max-iterations.
+      if (qp_result.status == QpStatus::kTimeout)
+        result.status = SqpStatus::kTimeout;
+      else
+        result.status = (cur.eq_inf <= options_.constraint_tolerance &&
+                         cur.ineq_inf <= options_.constraint_tolerance)
+                            ? SqpStatus::kConverged
+                            : SqpStatus::kMaxIterations;
       break;
     }
     result.x = candidate_;

@@ -26,13 +26,23 @@ namespace evc::opt {
 enum class SqpStatus {
   kConverged,       ///< step and constraint violation below tolerance
   kMaxIterations,   ///< best iterate returned
+  kTimeout,         ///< wall-clock budget exhausted; best iterate returned
   kQpFailure,       ///< QP subproblem unsolvable even with elastic relaxation
 };
+
+/// Coarse classification for control-layer callers (see solve_status.hpp).
+SolveStatus solve_status(SqpStatus status);
 
 struct SqpOptions {
   std::size_t max_iterations = 30;
   double step_tolerance = 1e-6;        ///< ‖d‖∞ for convergence
   double constraint_tolerance = 1e-6;  ///< ‖c(x)‖∞ for convergence
+  /// Wall-clock budget for one solve (s); 0 disables the deadline. Checked
+  /// before every SQP iteration, and the remaining budget caps each QP
+  /// subproblem's own deadline, so a stalled subproblem cannot blow through
+  /// the control step. On expiry the best iterate so far is returned with
+  /// status kTimeout.
+  double time_budget_s = 0.0;
   double initial_penalty = 10.0;       ///< ν for the ℓ1 merit
   double hessian_regularization = 1e-8;
   std::size_t max_line_search_steps = 25;

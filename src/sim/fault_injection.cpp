@@ -1,0 +1,180 @@
+#include "sim/fault_injection.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::sim {
+
+namespace {
+
+// Stream seed for spec `i`: one splitmix64 scramble of (seed, i) so streams
+// are decorrelated and stable under spec insertion/removal at other indices.
+std::uint64_t stream_seed(std::uint64_t seed, std::size_t i) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (i + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double* scalar_of(ctl::ControlContext& c, FaultSignal signal) {
+  switch (signal) {
+    case FaultSignal::kCabinTemp:
+      return &c.cabin_temp_c;
+    case FaultSignal::kOutsideTemp:
+      return &c.outside_temp_c;
+    case FaultSignal::kSoc:
+      return &c.soc_percent;
+    case FaultSignal::kMotorForecast:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string to_string(FaultSignal signal) {
+  switch (signal) {
+    case FaultSignal::kCabinTemp:
+      return "cabin-temp";
+    case FaultSignal::kOutsideTemp:
+      return "outside-temp";
+    case FaultSignal::kSoc:
+      return "soc";
+    case FaultSignal::kMotorForecast:
+      return "motor-forecast";
+  }
+  return "unknown";
+}
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBias:
+      return "bias";
+    case FaultKind::kStuckAt:
+      return "stuck-at";
+    case FaultKind::kDropout:
+      return "dropout";
+    case FaultKind::kStaleSample:
+      return "stale-sample";
+    case FaultKind::kSpike:
+      return "spike";
+    case FaultKind::kQuantization:
+      return "quantization";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> specs, std::uint64_t seed)
+    : specs_(std::move(specs)), seed_(seed) {
+  for (const FaultSpec& spec : specs_) {
+    EVC_EXPECT(spec.rate >= 0.0 && spec.rate <= 1.0,
+               "fault rate outside [0, 1]");
+    EVC_EXPECT(spec.hold_steps >= 1, "fault hold must be at least one step");
+    EVC_EXPECT(spec.start_s <= spec.end_s, "fault window start after end");
+    if (spec.kind == FaultKind::kQuantization)
+      EVC_EXPECT(spec.magnitude > 0.0, "quantization step must be positive");
+  }
+  reset();
+}
+
+void FaultInjector::reset() {
+  states_.clear();
+  states_.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    SpecState state;
+    state.rng = SplitMix64(stream_seed(seed_, i));
+    states_.push_back(std::move(state));
+  }
+  stats_ = FaultInjectionStats{};
+}
+
+std::size_t FaultInjector::apply(ctl::ControlContext& context) {
+  ++stats_.steps;
+  std::size_t active = 0;
+
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& spec = specs_[i];
+    SpecState& state = states_[i];
+
+    if (state.active_steps_left == 0) {
+      // One Bernoulli draw per inactive step keeps the stream length a pure
+      // function of elapsed steps, independent of other specs' episodes.
+      const bool in_window =
+          context.time_s >= spec.start_s && context.time_s < spec.end_s;
+      const bool fire = state.rng.next_double() < spec.rate;
+      if (!in_window || !fire) continue;
+      state.active_steps_left = spec.hold_steps;
+      ++stats_.episodes;
+      // Latch the pre-fault value for the hold-style kinds.
+      if (spec.kind == FaultKind::kStaleSample) {
+        if (spec.signal == FaultSignal::kMotorForecast)
+          state.held_forecast = context.motor_power_forecast_w;
+        else
+          state.held_value = *scalar_of(context, spec.signal);
+      }
+    }
+
+    --state.active_steps_left;
+    ++active;
+
+    const bool forecast = spec.signal == FaultSignal::kMotorForecast;
+    double* value = scalar_of(context, spec.signal);
+    auto& forecast_vec = context.motor_power_forecast_w;
+    switch (spec.kind) {
+      case FaultKind::kBias:
+        ++stats_.bias_steps;
+        if (forecast)
+          for (double& v : forecast_vec) v += spec.magnitude;
+        else
+          *value += spec.magnitude;
+        break;
+      case FaultKind::kStuckAt:
+        ++stats_.stuck_steps;
+        if (forecast)
+          forecast_vec.assign(forecast_vec.size(), spec.magnitude);
+        else
+          *value = spec.magnitude;
+        break;
+      case FaultKind::kDropout:
+        ++stats_.dropout_steps;
+        // A silent sensor reads NaN; a silent forecast service returns
+        // nothing (the controller falls back to reactive behaviour).
+        if (forecast)
+          forecast_vec.clear();
+        else
+          *value = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case FaultKind::kStaleSample:
+        ++stats_.stale_steps;
+        if (forecast)
+          forecast_vec = state.held_forecast;
+        else
+          *value = state.held_value;
+        break;
+      case FaultKind::kSpike:
+        ++stats_.spike_steps;
+        {
+          const double sign = state.rng.next_double() < 0.5 ? -1.0 : 1.0;
+          if (forecast)
+            for (double& v : forecast_vec) v += sign * spec.magnitude;
+          else
+            *value += sign * spec.magnitude;
+        }
+        break;
+      case FaultKind::kQuantization:
+        ++stats_.quantization_steps;
+        if (forecast)
+          for (double& v : forecast_vec)
+            v = std::round(v / spec.magnitude) * spec.magnitude;
+        else
+          *value = std::round(*value / spec.magnitude) * spec.magnitude;
+        break;
+    }
+  }
+
+  if (active > 0) ++stats_.faulted_steps;
+  return active;
+}
+
+}  // namespace evc::sim

@@ -1,0 +1,114 @@
+// Deterministic sensor/forecast fault injection for robustness studies.
+//
+// A FaultInjector sits between the simulated plant and the controller and
+// corrupts the ControlContext the controller sees — the plant itself stays
+// truthful, exactly like a real ECU whose sensors glitch while the physics
+// carry on. Faults are composable (any number of specs, applied in order)
+// and the schedule is fully deterministic: each spec draws from its own
+// splitmix64 stream derived from (seed, spec index), so adding or removing
+// one spec never perturbs the others' episodes and every run with the same
+// seed reproduces bit-exactly.
+//
+// Fault taxonomy (docs/ROBUSTNESS.md):
+//   kBias          additive offset while an episode is active
+//   kStuckAt       signal frozen at `magnitude` while active
+//   kDropout       signal reads quiet-NaN (sensor silence); a forecast
+//                  dropout empties the forecast vector instead
+//   kStaleSample   signal frozen at its value when the episode started
+//   kSpike         additive impulse of ±magnitude (random sign per step)
+//   kQuantization  signal rounded to a grid of `magnitude`
+//
+// Episodes: every step a spec is inactive (and inside its time window) it
+// fires with probability `rate`, then stays active for `hold_steps` steps.
+// rate = 1 with a large hold models a permanent fault.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "util/random.hpp"
+
+namespace evc::sim {
+
+enum class FaultSignal {
+  kCabinTemp,      ///< ControlContext::cabin_temp_c (°C)
+  kOutsideTemp,    ///< ControlContext::outside_temp_c (°C)
+  kSoc,            ///< ControlContext::soc_percent
+  kMotorForecast,  ///< ControlContext::motor_power_forecast_w (all entries)
+};
+
+enum class FaultKind {
+  kBias,
+  kStuckAt,
+  kDropout,
+  kStaleSample,
+  kSpike,
+  kQuantization,
+};
+
+struct FaultSpec {
+  FaultSignal signal = FaultSignal::kCabinTemp;
+  FaultKind kind = FaultKind::kBias;
+  /// Per-step episode start probability while inactive, in [0, 1].
+  double rate = 0.0;
+  /// Bias offset / stuck value / spike amplitude / quantization step.
+  double magnitude = 0.0;
+  /// Steps an episode stays active once fired (≥ 1).
+  std::size_t hold_steps = 1;
+  /// Episodes only start inside [start_s, end_s) of simulation time.
+  double start_s = 0.0;
+  double end_s = std::numeric_limits<double>::infinity();
+};
+
+/// Aggregate fault activity since construction/reset.
+struct FaultInjectionStats {
+  std::size_t steps = 0;          ///< apply() calls
+  std::size_t faulted_steps = 0;  ///< steps where ≥ 1 fault was active
+  std::size_t episodes = 0;       ///< episodes started
+  /// Active fault-step counts per kind (a 3-step dropout episode counts 3).
+  std::size_t bias_steps = 0;
+  std::size_t stuck_steps = 0;
+  std::size_t dropout_steps = 0;
+  std::size_t stale_steps = 0;
+  std::size_t spike_steps = 0;
+  std::size_t quantization_steps = 0;
+};
+
+class FaultInjector {
+ public:
+  /// Throws std::invalid_argument on malformed specs (rate outside [0, 1],
+  /// non-positive quantization step, zero hold).
+  FaultInjector(std::vector<FaultSpec> specs, std::uint64_t seed);
+
+  /// Corrupt `context` in place for this step (keyed on context.time_s).
+  /// Returns the number of faults active this step.
+  std::size_t apply(ctl::ControlContext& context);
+
+  /// Restore the constructed state: same seed → the exact same schedule.
+  void reset();
+
+  const FaultInjectionStats& stats() const { return stats_; }
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+
+ private:
+  struct SpecState {
+    SplitMix64 rng{0};
+    std::size_t active_steps_left = 0;
+    double held_value = 0.0;              ///< stale/stuck scalar
+    std::vector<double> held_forecast;    ///< stale forecast snapshot
+  };
+
+  std::vector<FaultSpec> specs_;
+  std::uint64_t seed_;
+  std::vector<SpecState> states_;
+  FaultInjectionStats stats_;
+};
+
+std::string to_string(FaultSignal signal);
+std::string to_string(FaultKind kind);
+
+}  // namespace evc::sim

@@ -1,0 +1,226 @@
+// Tests for the deterministic fault-injection module (sim/fault_injection):
+// schedule determinism, per-kind corruption semantics, episode mechanics,
+// spec-stream independence, and stats accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/fault_injection.hpp"
+
+namespace evc::sim {
+namespace {
+
+ctl::ControlContext make_context(double time_s = 0.0) {
+  ctl::ControlContext c;
+  c.time_s = time_s;
+  c.dt_s = 1.0;
+  c.cabin_temp_c = 24.0;
+  c.outside_temp_c = 35.0;
+  c.soc_percent = 80.0;
+  c.motor_power_forecast_w = {1000.0, 2000.0, 3000.0};
+  c.outside_temp_forecast_c = {35.0, 35.0, 35.0};
+  return c;
+}
+
+TEST(FaultInjection, NoSpecsIsIdentity) {
+  FaultInjector injector({}, 1);
+  ctl::ControlContext c = make_context();
+  const ctl::ControlContext before = c;
+  EXPECT_EQ(injector.apply(c), 0u);
+  EXPECT_EQ(c.cabin_temp_c, before.cabin_temp_c);
+  EXPECT_EQ(c.soc_percent, before.soc_percent);
+  EXPECT_EQ(c.motor_power_forecast_w, before.motor_power_forecast_w);
+  EXPECT_EQ(injector.stats().faulted_steps, 0u);
+}
+
+TEST(FaultInjection, ZeroRateNeverFires) {
+  FaultInjector injector(
+      {{FaultSignal::kCabinTemp, FaultKind::kDropout, 0.0, 0.0, 1}}, 7);
+  for (int t = 0; t < 1000; ++t) {
+    ctl::ControlContext c = make_context(static_cast<double>(t));
+    EXPECT_EQ(injector.apply(c), 0u);
+    EXPECT_TRUE(std::isfinite(c.cabin_temp_c));
+  }
+  EXPECT_EQ(injector.stats().episodes, 0u);
+}
+
+TEST(FaultInjection, RateOneFiresEveryStep) {
+  FaultInjector injector(
+      {{FaultSignal::kCabinTemp, FaultKind::kBias, 1.0, 2.5, 1}}, 7);
+  for (int t = 0; t < 10; ++t) {
+    ctl::ControlContext c = make_context(static_cast<double>(t));
+    EXPECT_EQ(injector.apply(c), 1u);
+    EXPECT_DOUBLE_EQ(c.cabin_temp_c, 26.5);
+  }
+  EXPECT_EQ(injector.stats().bias_steps, 10u);
+  EXPECT_EQ(injector.stats().faulted_steps, 10u);
+}
+
+TEST(FaultInjection, DropoutReadsNaNAndForecastEmpties) {
+  FaultInjector injector(
+      {{FaultSignal::kSoc, FaultKind::kDropout, 1.0, 0.0, 1},
+       {FaultSignal::kMotorForecast, FaultKind::kDropout, 1.0, 0.0, 1}},
+      3);
+  ctl::ControlContext c = make_context();
+  EXPECT_EQ(injector.apply(c), 2u);
+  EXPECT_TRUE(std::isnan(c.soc_percent));
+  EXPECT_TRUE(c.motor_power_forecast_w.empty());
+}
+
+TEST(FaultInjection, StuckAtHoldsMagnitude) {
+  FaultInjector injector(
+      {{FaultSignal::kSoc, FaultKind::kStuckAt, 1.0, 150.0, 1}}, 3);
+  ctl::ControlContext c = make_context();
+  injector.apply(c);
+  EXPECT_DOUBLE_EQ(c.soc_percent, 150.0);
+}
+
+TEST(FaultInjection, StaleSampleLatchesEpisodeStartValue) {
+  // rate 1, hold 3: the episode latches the first step's value and replays
+  // it while the true signal moves on.
+  FaultInjector injector(
+      {{FaultSignal::kCabinTemp, FaultKind::kStaleSample, 1.0, 0.0, 3}}, 11);
+  ctl::ControlContext c0 = make_context(0.0);
+  c0.cabin_temp_c = 20.0;
+  injector.apply(c0);
+  EXPECT_DOUBLE_EQ(c0.cabin_temp_c, 20.0);  // first step: latch == current
+
+  ctl::ControlContext c1 = make_context(1.0);
+  c1.cabin_temp_c = 99.0;  // true signal moved
+  injector.apply(c1);
+  EXPECT_DOUBLE_EQ(c1.cabin_temp_c, 20.0);  // stale replay
+}
+
+TEST(FaultInjection, QuantizationRoundsToGrid) {
+  FaultInjector injector(
+      {{FaultSignal::kCabinTemp, FaultKind::kQuantization, 1.0, 0.5, 1}}, 5);
+  ctl::ControlContext c = make_context();
+  c.cabin_temp_c = 24.26;
+  injector.apply(c);
+  EXPECT_DOUBLE_EQ(c.cabin_temp_c, 24.5);
+}
+
+TEST(FaultInjection, SpikeIsPlusMinusMagnitude) {
+  FaultInjector injector(
+      {{FaultSignal::kOutsideTemp, FaultKind::kSpike, 1.0, 40.0, 1}}, 5);
+  for (int t = 0; t < 20; ++t) {
+    ctl::ControlContext c = make_context(static_cast<double>(t));
+    injector.apply(c);
+    EXPECT_NEAR(std::abs(c.outside_temp_c - 35.0), 40.0, 1e-12);
+  }
+}
+
+TEST(FaultInjection, EpisodeHoldsForHoldSteps) {
+  // rate 1 restarts immediately; use a window so only one episode starts.
+  FaultInjector injector({{FaultSignal::kCabinTemp, FaultKind::kBias, 1.0,
+                           5.0, 4, 0.0, 0.5}},
+                         13);
+  std::size_t active_steps = 0;
+  for (int t = 0; t < 10; ++t) {
+    ctl::ControlContext c = make_context(static_cast<double>(t));
+    active_steps += injector.apply(c);
+  }
+  EXPECT_EQ(active_steps, 4u);
+  EXPECT_EQ(injector.stats().episodes, 1u);
+}
+
+TEST(FaultInjection, TimeWindowGatesEpisodeStart) {
+  FaultInjector injector({{FaultSignal::kCabinTemp, FaultKind::kBias, 1.0,
+                           5.0, 1, 100.0, 200.0}},
+                         13);
+  ctl::ControlContext before = make_context(50.0);
+  EXPECT_EQ(injector.apply(before), 0u);
+  ctl::ControlContext inside = make_context(150.0);
+  EXPECT_EQ(injector.apply(inside), 1u);
+  ctl::ControlContext after = make_context(250.0);
+  EXPECT_EQ(injector.apply(after), 0u);
+}
+
+TEST(FaultInjection, SameSeedReproducesSchedule) {
+  const std::vector<FaultSpec> specs = {
+      {FaultSignal::kCabinTemp, FaultKind::kDropout, 0.1, 0.0, 2},
+      {FaultSignal::kOutsideTemp, FaultKind::kSpike, 0.05, 10.0, 1}};
+  FaultInjector a(specs, 42), b(specs, 42);
+  for (int t = 0; t < 500; ++t) {
+    ctl::ControlContext ca = make_context(static_cast<double>(t));
+    ctl::ControlContext cb = make_context(static_cast<double>(t));
+    EXPECT_EQ(a.apply(ca), b.apply(cb));
+    EXPECT_TRUE(ca.cabin_temp_c == cb.cabin_temp_c ||
+                (std::isnan(ca.cabin_temp_c) && std::isnan(cb.cabin_temp_c)));
+    EXPECT_EQ(ca.outside_temp_c, cb.outside_temp_c);
+  }
+}
+
+TEST(FaultInjection, ResetRestoresSchedule) {
+  FaultInjector injector(
+      {{FaultSignal::kCabinTemp, FaultKind::kSpike, 0.2, 7.0, 1}}, 99);
+  std::vector<double> first;
+  for (int t = 0; t < 100; ++t) {
+    ctl::ControlContext c = make_context(static_cast<double>(t));
+    injector.apply(c);
+    first.push_back(c.cabin_temp_c);
+  }
+  injector.reset();
+  EXPECT_EQ(injector.stats().steps, 0u);
+  for (int t = 0; t < 100; ++t) {
+    ctl::ControlContext c = make_context(static_cast<double>(t));
+    injector.apply(c);
+    EXPECT_EQ(c.cabin_temp_c, first[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(FaultInjection, SpecStreamsAreIndependent) {
+  // Removing the second spec must not change the first spec's schedule.
+  const FaultSpec keep = {FaultSignal::kCabinTemp, FaultKind::kDropout, 0.1,
+                          0.0, 1};
+  const FaultSpec drop = {FaultSignal::kSoc, FaultKind::kDropout, 0.3, 0.0,
+                          2};
+  FaultInjector both({keep, drop}, 7);
+  FaultInjector alone({keep}, 7);
+  for (int t = 0; t < 300; ++t) {
+    ctl::ControlContext cb = make_context(static_cast<double>(t));
+    ctl::ControlContext ca = make_context(static_cast<double>(t));
+    both.apply(cb);
+    alone.apply(ca);
+    EXPECT_EQ(std::isnan(cb.cabin_temp_c), std::isnan(ca.cabin_temp_c))
+        << "step " << t;
+  }
+}
+
+TEST(FaultInjection, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultInjector({{FaultSignal::kCabinTemp, FaultKind::kBias,
+                               1.5, 0.0, 1}},
+                             1),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector({{FaultSignal::kCabinTemp, FaultKind::kBias,
+                               0.5, 0.0, 0}},
+                             1),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector({{FaultSignal::kCabinTemp,
+                               FaultKind::kQuantization, 0.5, 0.0, 1}},
+                             1),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector({{FaultSignal::kCabinTemp, FaultKind::kBias,
+                               0.5, 0.0, 1, 10.0, 5.0}},
+                             1),
+               std::invalid_argument);
+}
+
+TEST(FaultInjection, StatsPartitionByKind) {
+  FaultInjector injector(
+      {{FaultSignal::kCabinTemp, FaultKind::kBias, 1.0, 1.0, 1},
+       {FaultSignal::kSoc, FaultKind::kDropout, 1.0, 0.0, 1}},
+      3);
+  for (int t = 0; t < 5; ++t) {
+    ctl::ControlContext c = make_context(static_cast<double>(t));
+    injector.apply(c);
+  }
+  EXPECT_EQ(injector.stats().steps, 5u);
+  EXPECT_EQ(injector.stats().bias_steps, 5u);
+  EXPECT_EQ(injector.stats().dropout_steps, 5u);
+  EXPECT_EQ(injector.stats().stuck_steps, 0u);
+}
+
+}  // namespace
+}  // namespace evc::sim

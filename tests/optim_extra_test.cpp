@@ -181,5 +181,82 @@ TEST_P(SqpCircle, ConvergesFromRingOfStarts) {
 
 INSTANTIATE_TEST_SUITE_P(Angles, SqpCircle, ::testing::Range(0, 12));
 
+// --- Structured solve outcomes and time budgets ---
+
+TEST(SolveStatus, MapsNativeStatusesOntoSharedEnum) {
+  EXPECT_EQ(solve_status(QpStatus::kSolved), SolveStatus::kConverged);
+  EXPECT_EQ(solve_status(QpStatus::kMaxIterations),
+            SolveStatus::kMaxIterations);
+  EXPECT_EQ(solve_status(QpStatus::kTimeout), SolveStatus::kTimeout);
+  EXPECT_EQ(solve_status(QpStatus::kNumericalIssue),
+            SolveStatus::kNumericalFailure);
+  EXPECT_EQ(solve_status(SqpStatus::kConverged), SolveStatus::kConverged);
+  EXPECT_EQ(solve_status(SqpStatus::kMaxIterations),
+            SolveStatus::kMaxIterations);
+  EXPECT_EQ(solve_status(SqpStatus::kTimeout), SolveStatus::kTimeout);
+  EXPECT_EQ(solve_status(SqpStatus::kQpFailure),
+            SolveStatus::kNumericalFailure);
+  EXPECT_FALSE(to_string(SolveStatus::kTimeout).empty());
+}
+
+QpProblem random_box_qp(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  QpProblem p;
+  p.h = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) p.h(i, i) = 1.0 + rng.next_double();
+  p.g = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) p.g[i] = rng.normal(0.0, 3.0);
+  p.e_mat = Matrix(0, n);
+  p.e_vec = Vector(0);
+  p.a_mat = Matrix(2 * n, n);
+  p.b_vec = Vector(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.a_mat(2 * i, i) = 1.0;
+    p.b_vec[2 * i] = 0.5;
+    p.a_mat(2 * i + 1, i) = -1.0;
+    p.b_vec[2 * i + 1] = 0.5;
+  }
+  return p;
+}
+
+TEST(QpTimeBudget, StarvedBudgetReportsTimeout) {
+  // A budget of ~1 ns cannot cover more than the first IPM iteration; the
+  // solver must exit with the structured timeout status and a coherent
+  // (finite) iterate rather than running to the iteration cap.
+  const QpProblem p = random_box_qp(30, 7);
+  QpOptions options;
+  options.time_budget_s = 1e-9;
+  QpWorkspace ws;
+  const QpResult r = solve_qp(p, options, ws);
+  ASSERT_EQ(r.status, QpStatus::kTimeout);
+  EXPECT_EQ(solve_status(r.status), SolveStatus::kTimeout);
+  EXPECT_EQ(ws.counters().timeouts, 1u);
+  for (std::size_t i = 0; i < r.x.size(); ++i)
+    EXPECT_TRUE(std::isfinite(r.x[i]));
+}
+
+TEST(QpTimeBudget, GenerousBudgetSolvesNormally) {
+  const QpProblem p = random_box_qp(30, 7);
+  QpOptions options;
+  options.time_budget_s = 30.0;
+  QpWorkspace ws;
+  const QpResult r = solve_qp(p, options, ws);
+  ASSERT_EQ(r.status, QpStatus::kSolved);
+  EXPECT_EQ(ws.counters().timeouts, 0u);
+}
+
+TEST(SqpTimeBudget, StarvedBudgetReportsTimeout) {
+  CircleProblem p;
+  SqpOptions options;
+  options.max_iterations = 50;
+  options.time_budget_s = 1e-9;
+  const SqpSolver solver(options);
+  const SqpResult r = solver.solve(p, Vector{1.5, 0.5});
+  ASSERT_EQ(r.status, SqpStatus::kTimeout);
+  EXPECT_EQ(solve_status(r.status), SolveStatus::kTimeout);
+  for (std::size_t i = 0; i < r.x.size(); ++i)
+    EXPECT_TRUE(std::isfinite(r.x[i]));
+}
+
 }  // namespace
 }  // namespace evc::opt
