@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expect.hpp"
+#include "util/serialize.hpp"
 #include "util/units.hpp"
 
 namespace evc::bat {
@@ -40,6 +41,18 @@ PackStep BatteryPack::step(double power_w, double dt_s) {
 double BatteryPack::remaining_energy_j() const {
   return units::ah_to_coulomb(params().nominal_capacity_ah) *
          (soc_percent_ / 100.0) * params().nominal_voltage_v;
+}
+
+void BatteryPack::save_state(BinaryWriter& writer) const {
+  writer.section("battery_pack");
+  writer.write_f64(soc_percent_);
+  writer.write_bool(depleted_);
+}
+
+void BatteryPack::load_state(BinaryReader& reader) {
+  reader.expect_section("battery_pack");
+  soc_percent_ = reader.read_f64();
+  depleted_ = reader.read_bool();
 }
 
 }  // namespace evc::bat

@@ -4,6 +4,11 @@
 #include "battery/soc_model.hpp"
 #include "util/interp.hpp"
 
+namespace evc {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace evc
+
 namespace evc::bat {
 
 /// One step's electrical outcome.
@@ -32,6 +37,9 @@ class BatteryPack {
   /// Remaining usable energy at the nominal voltage (J), ignoring rate
   /// effects — the BMS's simple range-estimation basis.
   double remaining_energy_j() const;
+
+  void save_state(BinaryWriter& writer) const;
+  void load_state(BinaryReader& reader);
 
  private:
   PeukertSocModel soc_model_;

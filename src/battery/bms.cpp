@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expect.hpp"
+#include "util/serialize.hpp"
 
 namespace evc::bat {
 
@@ -46,6 +47,28 @@ CycleStress Bms::cycle_stress() const {
 
 double Bms::cycle_delta_soh() const {
   return soh_model_.delta_soh(cycle_stress());
+}
+
+void Bms::save_state(BinaryWriter& writer) const {
+  writer.section("bms");
+  pack_.save_state(writer);
+  writer.write_f64_vec(soc_trace_);
+  writer.write_f64(last_step_.current_a);
+  writer.write_f64(last_step_.effective_current_a);
+  writer.write_f64(last_step_.terminal_voltage_v);
+  writer.write_f64(last_step_.soc_percent);
+  writer.write_bool(protection_engaged_);
+}
+
+void Bms::load_state(BinaryReader& reader) {
+  reader.expect_section("bms");
+  pack_.load_state(reader);
+  soc_trace_ = reader.read_f64_vec();
+  last_step_.current_a = reader.read_f64();
+  last_step_.effective_current_a = reader.read_f64();
+  last_step_.terminal_voltage_v = reader.read_f64();
+  last_step_.soc_percent = reader.read_f64();
+  protection_engaged_ = reader.read_bool();
 }
 
 }  // namespace evc::bat

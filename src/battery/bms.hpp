@@ -11,6 +11,11 @@
 #include "battery/battery_pack.hpp"
 #include "battery/soh_model.hpp"
 
+namespace evc {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace evc
+
 namespace evc::bat {
 
 struct BmsLimits {
@@ -48,6 +53,9 @@ class Bms {
   /// Stress and fade of the cycle recorded since start_cycle().
   CycleStress cycle_stress() const;
   double cycle_delta_soh() const;
+
+  void save_state(BinaryWriter& writer) const;
+  void load_state(BinaryReader& reader);
 
  private:
   BatteryPack pack_;

@@ -13,6 +13,11 @@
 
 #include "hvac/hvac_params.hpp"
 
+namespace evc {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace evc
+
 namespace evc::ctl {
 
 struct ControlContext {
@@ -52,6 +57,14 @@ class ClimateController {
   virtual void reset() {}
   /// Health of the most recent decide() (see DecisionHealth).
   virtual DecisionHealth last_health() const { return {}; }
+
+  /// Serialize/restore the controller's mutable state for crash-safe
+  /// checkpoints (sim::Checkpoint). A stateless controller keeps the no-op
+  /// defaults; stateful ones must round-trip byte-identically: after
+  /// load_state, every subsequent decide() must match the uninterrupted
+  /// run bit-for-bit.
+  virtual void save_state(BinaryWriter& writer) const { (void)writer; }
+  virtual void load_state(BinaryReader& reader) { (void)reader; }
 };
 
 }  // namespace evc::ctl

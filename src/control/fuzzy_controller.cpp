@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/expect.hpp"
+#include "util/serialize.hpp"
 
 namespace evc::ctl {
 
@@ -99,6 +100,20 @@ void FuzzyController::reset() {
   prev_error_ = 0.0;
   has_prev_ = false;
   integral_trim_ = 0.0;
+}
+
+void FuzzyController::save_state(BinaryWriter& writer) const {
+  writer.section("fuzzy");
+  writer.write_f64(prev_error_);
+  writer.write_bool(has_prev_);
+  writer.write_f64(integral_trim_);
+}
+
+void FuzzyController::load_state(BinaryReader& reader) {
+  reader.expect_section("fuzzy");
+  prev_error_ = reader.read_f64();
+  has_prev_ = reader.read_bool();
+  integral_trim_ = reader.read_f64();
 }
 
 }  // namespace evc::ctl

@@ -35,6 +35,8 @@ class FuzzyController : public ClimateController {
   std::string name() const override { return "Fuzzy"; }
   hvac::HvacInputs decide(const ControlContext& context) override;
   void reset() override;
+  void save_state(BinaryWriter& writer) const override;
+  void load_state(BinaryReader& reader) override;
 
   /// Normalized thermal command for given crisp error/rate — exposed for
   /// unit-testing the rule base.

@@ -1,6 +1,7 @@
 #include "control/onoff_controller.hpp"
 
 #include "util/expect.hpp"
+#include "util/serialize.hpp"
 
 namespace evc::ctl {
 
@@ -57,6 +58,16 @@ hvac::HvacInputs OnOffController::decide(const ControlContext& context) {
       break;
   }
   return in;
+}
+
+void OnOffController::save_state(BinaryWriter& writer) const {
+  writer.section("onoff");
+  writer.write_u8(static_cast<std::uint8_t>(mode_));
+}
+
+void OnOffController::load_state(BinaryReader& reader) {
+  reader.expect_section("onoff");
+  mode_ = static_cast<Mode>(reader.read_u8());
 }
 
 }  // namespace evc::ctl

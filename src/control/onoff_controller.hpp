@@ -26,6 +26,8 @@ class OnOffController : public ClimateController {
   std::string name() const override { return "On/Off"; }
   hvac::HvacInputs decide(const ControlContext& context) override;
   void reset() override { mode_ = Mode::kOff; }
+  void save_state(BinaryWriter& writer) const override;
+  void load_state(BinaryReader& reader) override;
 
  private:
   enum class Mode { kOff, kCooling, kHeating };

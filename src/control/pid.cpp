@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expect.hpp"
+#include "util/serialize.hpp"
 
 namespace evc::ctl {
 
@@ -34,6 +35,20 @@ void Pid::reset() {
   integral_ = 0.0;
   prev_error_ = 0.0;
   has_prev_ = false;
+}
+
+void Pid::save_state(BinaryWriter& writer) const {
+  writer.section("pid");
+  writer.write_f64(integral_);
+  writer.write_f64(prev_error_);
+  writer.write_bool(has_prev_);
+}
+
+void Pid::load_state(BinaryReader& reader) {
+  reader.expect_section("pid");
+  integral_ = reader.read_f64();
+  prev_error_ = reader.read_f64();
+  has_prev_ = reader.read_bool();
 }
 
 }  // namespace evc::ctl

@@ -5,6 +5,11 @@
 // temperature regulator in the examples.
 #pragma once
 
+namespace evc {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace evc
+
 namespace evc::ctl {
 
 struct PidGains {
@@ -26,6 +31,9 @@ class Pid {
 
   void reset();
   double integral() const { return integral_; }
+
+  void save_state(BinaryWriter& writer) const;
+  void load_state(BinaryReader& reader);
 
  private:
   PidGains gains_;

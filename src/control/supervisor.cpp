@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "util/expect.hpp"
+#include "util/serialize.hpp"
 
 namespace evc::ctl {
 
@@ -41,6 +42,8 @@ SupervisedController::SupervisedController(
   EVC_EXPECT(options_.step_deadline_s >= 0.0,
              "step deadline must be >= 0");
   stats_.tier_steps.assign(num_tiers(), 0);
+  if (options_.fdi.enabled)
+    fdi_ = std::make_unique<fdi::SensorFdi>(options_.fdi, params_);
 }
 
 std::string SupervisedController::name() const {
@@ -61,6 +64,10 @@ void SupervisedController::reset() {
   healthy_streak_ = 0;
   have_last_good_ = false;
   have_safe_output_ = false;
+  cabin_hold_age_ = 0;
+  outside_hold_age_ = 0;
+  soc_hold_age_ = 0;
+  if (fdi_) fdi_->reset();
 }
 
 ControlContext SupervisedController::sanitize(const ControlContext& context) {
@@ -75,11 +82,21 @@ ControlContext SupervisedController::sanitize(const ControlContext& context) {
   const double outside_fb =
       have_last_good_ ? last_good_outside_c_ : params_.target_temp_c;
   const double soc_fb = have_last_good_ ? last_good_soc_ : 50.0;
+  const bool cabin_finite = std::isfinite(clean.cabin_temp_c);
+  const bool outside_finite = std::isfinite(clean.outside_temp_c);
+  const bool soc_finite = std::isfinite(clean.soc_percent);
   repaired += repair(clean.cabin_temp_c, cabin_fb, options_.min_temp_c,
                      options_.max_temp_c);
   repaired += repair(clean.outside_temp_c, outside_fb, options_.min_temp_c,
                      options_.max_temp_c);
   repaired += repair(clean.soc_percent, soc_fb, 0.0, 100.0);
+
+  // Hold aging for the max_hold_steps escalation: only a silent sensor
+  // (non-finite reading repaired by the hold) ages; any finite reading —
+  // even one that needed clamping — resets the age.
+  cabin_hold_age_ = cabin_finite ? 0 : cabin_hold_age_ + 1;
+  outside_hold_age_ = outside_finite ? 0 : outside_hold_age_ + 1;
+  soc_hold_age_ = soc_finite ? 0 : soc_hold_age_ + 1;
 
   // dt must stay positive or downstream rate computations divide by zero.
   if (!std::isfinite(clean.dt_s) || clean.dt_s <= 0.0) {
@@ -158,14 +175,37 @@ hvac::HvacInputs SupervisedController::safe_hold(
 hvac::HvacInputs SupervisedController::decide(const ControlContext& context) {
   using Clock = std::chrono::steady_clock;
   ++stats_.steps;
-  const ControlContext clean = sanitize(context);
+
+  // FDIR first, on the *raw* context: residual detection must see exactly
+  // what the sensor emitted (NaNs and wild values included). Trusted
+  // sensors pass through bit-for-bit; isolated ones are replaced by live
+  // virtual-sensor estimates, which keeps the sanitizer's hold from aging.
+  ControlContext viewed = context;
+  if (fdi_) {
+    const fdi::FdiFrame frame = fdi_->assess(context);
+    viewed.cabin_temp_c = frame.cabin_temp_c;
+    viewed.outside_temp_c = frame.outside_temp_c;
+    viewed.soc_percent = frame.soc_percent;
+    if (frame.any_substituted()) ++stats_.fdi_substituted_steps;
+  }
+  const ControlContext clean = sanitize(viewed);
+
+  // A hold that outlived its budget tracks nothing — no controller should
+  // act on it. Skip the tier chain entirely and actuate safe-hold.
+  const bool hold_expired =
+      options_.max_hold_steps > 0 &&
+      (cabin_hold_age_ > options_.max_hold_steps ||
+       outside_hold_age_ > options_.max_hold_steps ||
+       soc_hold_age_ > options_.max_hold_steps);
+  if (hold_expired) ++stats_.hold_expirations;
 
   const std::size_t safe_tier = tiers_.size();
   hvac::HvacInputs output;
   std::size_t applied = safe_tier;
   bool applied_healthy_controller = false;
 
-  for (std::size_t tier = current_tier_; tier < tiers_.size(); ++tier) {
+  for (std::size_t tier = current_tier_;
+       !hold_expired && tier < tiers_.size(); ++tier) {
     const Clock::time_point t0 = Clock::now();
     hvac::HvacInputs candidate = tiers_[tier]->decide(clean);
     const double elapsed_s =
@@ -239,7 +279,103 @@ hvac::HvacInputs SupervisedController::decide(const ControlContext& context) {
 
   have_safe_output_ = true;
   last_safe_output_ = output;
+  // Arm the FDIR layer's next-step model predictions with the actuation
+  // that actually left the supervisor.
+  if (fdi_) fdi_->commit(output);
   return output;
+}
+
+namespace {
+
+void save_hvac_inputs(BinaryWriter& w, const hvac::HvacInputs& in) {
+  w.write_f64(in.supply_temp_c);
+  w.write_f64(in.coil_temp_c);
+  w.write_f64(in.recirculation);
+  w.write_f64(in.air_flow_kg_s);
+}
+
+void load_hvac_inputs(BinaryReader& r, hvac::HvacInputs& in) {
+  in.supply_temp_c = r.read_f64();
+  in.coil_temp_c = r.read_f64();
+  in.recirculation = r.read_f64();
+  in.air_flow_kg_s = r.read_f64();
+}
+
+}  // namespace
+
+void SupervisedController::save_state(BinaryWriter& writer) const {
+  writer.section("supervisor");
+  writer.write_size(current_tier_);
+  writer.write_size(last_applied_tier_);
+  writer.write_size(healthy_streak_);
+  writer.write_bool(have_last_good_);
+  writer.write_f64(last_good_cabin_c_);
+  writer.write_f64(last_good_outside_c_);
+  writer.write_f64(last_good_soc_);
+  writer.write_bool(have_safe_output_);
+  save_hvac_inputs(writer, last_safe_output_);
+  writer.write_size(cabin_hold_age_);
+  writer.write_size(outside_hold_age_);
+  writer.write_size(soc_hold_age_);
+
+  writer.section("supervisor_stats");
+  writer.write_size(stats_.steps);
+  writer.write_size(stats_.sanitized_steps);
+  writer.write_size(stats_.sanitized_values);
+  writer.write_size(stats_.deadline_misses);
+  writer.write_size(stats_.health_degradations);
+  writer.write_size(stats_.invalid_outputs);
+  writer.write_size(stats_.output_clamps);
+  writer.write_size(stats_.demotions);
+  writer.write_size(stats_.promotions);
+  writer.write_size(stats_.hold_expirations);
+  writer.write_size(stats_.fdi_substituted_steps);
+  writer.write_size_vec(stats_.tier_steps);
+
+  writer.write_bool(fdi_ != nullptr);
+  if (fdi_) fdi_->save_state(writer);
+
+  writer.write_size(tiers_.size());
+  for (const auto& tier : tiers_) tier->save_state(writer);
+}
+
+void SupervisedController::load_state(BinaryReader& reader) {
+  reader.expect_section("supervisor");
+  current_tier_ = reader.read_size();
+  last_applied_tier_ = reader.read_size();
+  healthy_streak_ = reader.read_size();
+  have_last_good_ = reader.read_bool();
+  last_good_cabin_c_ = reader.read_f64();
+  last_good_outside_c_ = reader.read_f64();
+  last_good_soc_ = reader.read_f64();
+  have_safe_output_ = reader.read_bool();
+  load_hvac_inputs(reader, last_safe_output_);
+  cabin_hold_age_ = reader.read_size();
+  outside_hold_age_ = reader.read_size();
+  soc_hold_age_ = reader.read_size();
+
+  reader.expect_section("supervisor_stats");
+  stats_.steps = reader.read_size();
+  stats_.sanitized_steps = reader.read_size();
+  stats_.sanitized_values = reader.read_size();
+  stats_.deadline_misses = reader.read_size();
+  stats_.health_degradations = reader.read_size();
+  stats_.invalid_outputs = reader.read_size();
+  stats_.output_clamps = reader.read_size();
+  stats_.demotions = reader.read_size();
+  stats_.promotions = reader.read_size();
+  stats_.hold_expirations = reader.read_size();
+  stats_.fdi_substituted_steps = reader.read_size();
+  stats_.tier_steps = reader.read_size_vec();
+
+  const bool had_fdi = reader.read_bool();
+  if (had_fdi != (fdi_ != nullptr))
+    throw SerializationError("supervisor FDI configuration mismatch");
+  if (fdi_) fdi_->load_state(reader);
+
+  if (reader.read_size() != tiers_.size())
+    throw SerializationError("supervisor tier count mismatch");
+  for (auto& tier : tiers_) tier->load_state(reader);
 }
 
 PidClimateController::PidClimateController(hvac::HvacParams params)

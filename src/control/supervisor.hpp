@@ -32,6 +32,7 @@
 #include "control/controller.hpp"
 #include "control/pid.hpp"
 #include "hvac/hvac_params.hpp"
+#include "sim/fdi/fdi.hpp"
 
 namespace evc::ctl {
 
@@ -46,6 +47,16 @@ struct SupervisorOptions {
   /// clamped and counted.
   double min_temp_c = -60.0;
   double max_temp_c = 90.0;
+  /// Consecutive steps a sensor may ride the last-good-value hold before
+  /// the supervisor escalates to the safe-hold tier: a hold that old tracks
+  /// nothing, so acting on it through any controller is guesswork. 0
+  /// disables the escalation (holds age silently, matching the pre-FDIR
+  /// behaviour). Irrelevant while the FDIR layer substitutes live virtual
+  /// estimates — those are finite, so the hold never ages.
+  std::size_t max_hold_steps = 0;
+  /// Sensor FDIR layer (detection/isolation/recovery + virtual-sensor
+  /// substitution); constructed only when fdi.enabled.
+  fdi::FdiOptions fdi;
 };
 
 /// Counters for every intervention the supervisor makes. `tier_steps[i]` is
@@ -61,6 +72,11 @@ struct SupervisorStats {
   std::size_t output_clamps = 0;    ///< emitted actuation pulled into box
   std::size_t demotions = 0;
   std::size_t promotions = 0;
+  /// Steps forced to the safe-hold tier because a sensor hold outlived
+  /// max_hold_steps (permanent-dropout escalation).
+  std::size_t hold_expirations = 0;
+  /// Steps where the FDIR layer substituted ≥ 1 virtual-sensor estimate.
+  std::size_t fdi_substituted_steps = 0;
   std::vector<std::size_t> tier_steps;
 };
 
@@ -90,6 +106,13 @@ class SupervisedController : public ClimateController {
   const ClimateController& tier(std::size_t i) const { return *tiers_.at(i); }
   /// Tier that actuated the most recent step.
   std::size_t last_applied_tier() const { return last_applied_tier_; }
+  /// The FDIR subsystem, or nullptr when options.fdi.enabled is false.
+  const fdi::SensorFdi* fdi() const { return fdi_.get(); }
+
+  /// Checkpoint hooks: supervisor bookkeeping, sanitizer hold state, FDIR
+  /// subsystem, and every wrapped tier (recursive).
+  void save_state(BinaryWriter& writer) const override;
+  void load_state(BinaryReader& reader) override;
 
  private:
   ControlContext sanitize(const ControlContext& context);
@@ -114,6 +137,14 @@ class SupervisedController : public ClimateController {
   // Safe-hold state: last actuation that passed the output checks.
   bool have_safe_output_ = false;
   hvac::HvacInputs last_safe_output_;
+
+  // Consecutive steps each scalar was repaired by the last-good hold
+  // (non-finite raw reading); resets on any finite reading.
+  std::size_t cabin_hold_age_ = 0;
+  std::size_t outside_hold_age_ = 0;
+  std::size_t soc_hold_age_ = 0;
+
+  std::unique_ptr<fdi::SensorFdi> fdi_;
 };
 
 /// PID fallback tier: a single PID on the cabin-temperature error commands
@@ -129,6 +160,10 @@ class PidClimateController : public ClimateController {
   std::string name() const override { return "PID fallback"; }
   hvac::HvacInputs decide(const ControlContext& context) override;
   void reset() override { pid_.reset(); }
+  void save_state(BinaryWriter& writer) const override {
+    pid_.save_state(writer);
+  }
+  void load_state(BinaryReader& reader) override { pid_.load_state(reader); }
 
  private:
   hvac::HvacParams params_;

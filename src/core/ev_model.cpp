@@ -1,5 +1,7 @@
 #include "core/ev_model.hpp"
 
+#include "util/serialize.hpp"
+
 namespace evc::core {
 
 EvModel::EvModel(EvParams params, double initial_soc_percent,
@@ -24,6 +26,18 @@ EvStep EvModel::step(const drive::DriveSample& sample,
   out.total_power_w = bms_.apply_power(requested, dt_s);
   out.soc_percent = bms_.soc_percent();
   return out;
+}
+
+void EvModel::save_state(BinaryWriter& writer) const {
+  writer.section("ev_model");
+  hvac_plant_.save_state(writer);
+  bms_.save_state(writer);
+}
+
+void EvModel::load_state(BinaryReader& reader) {
+  reader.expect_section("ev_model");
+  hvac_plant_.load_state(reader);
+  bms_.load_state(reader);
 }
 
 }  // namespace evc::core

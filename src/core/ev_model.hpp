@@ -10,6 +10,11 @@
 #include "hvac/hvac_plant.hpp"
 #include "powertrain/power_train.hpp"
 
+namespace evc {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace evc
+
 namespace evc::core {
 
 struct EvParams {
@@ -46,6 +51,12 @@ class EvModel {
   /// the controller, battery update through the BMS.
   EvStep step(const drive::DriveSample& sample,
               const hvac::HvacInputs& hvac_inputs, double dt_s);
+
+  /// Checkpoint hooks: plant thermal state + complete battery/BMS history
+  /// (the SoC trace feeds the cycle-stress metrics, so it must survive a
+  /// restore byte-identically).
+  void save_state(BinaryWriter& writer) const;
+  void load_state(BinaryReader& reader);
 
  private:
   EvParams params_;

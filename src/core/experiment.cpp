@@ -53,8 +53,14 @@ std::unique_ptr<ctl::SupervisedController> make_supervised_mpc_controller(
       make_mpc_controller(params, make_relaxed_mpc_options(options)));
   tiers.push_back(std::make_unique<ctl::PidClimateController>(params.hvac));
   tiers.push_back(make_onoff_controller(params));
+  // The FDIR layer's coulomb-counting virtual sensor needs the actual pack
+  // constants; the caller configures everything else about the FDI setup.
+  ctl::SupervisorOptions configured = supervisor_options;
+  configured.fdi.battery_capacity_ah = params.battery.nominal_capacity_ah;
+  configured.fdi.battery_nominal_voltage_v = params.battery.nominal_voltage_v;
+  configured.fdi.accessory_power_w = params.vehicle.accessory_power_w;
   return std::make_unique<ctl::SupervisedController>(
-      std::move(tiers), params.hvac, supervisor_options);
+      std::move(tiers), params.hvac, configured);
 }
 
 std::vector<ControllerRun> compare_controllers(

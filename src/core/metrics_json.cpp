@@ -85,6 +85,8 @@ std::string to_json(const ctl::SupervisorStats& stats) {
   json.key("output_clamps").value(stats.output_clamps);
   json.key("demotions").value(stats.demotions);
   json.key("promotions").value(stats.promotions);
+  json.key("hold_expirations").value(stats.hold_expirations);
+  json.key("fdi_substituted_steps").value(stats.fdi_substituted_steps);
   json.key("tier_steps");
   json.begin_array();
   for (std::size_t steps : stats.tier_steps) json.value(steps);
@@ -105,6 +107,45 @@ std::string to_json(const sim::FaultInjectionStats& stats) {
   json.key("stale_steps").value(stats.stale_steps);
   json.key("spike_steps").value(stats.spike_steps);
   json.key("quantization_steps").value(stats.quantization_steps);
+  json.end_object();
+  return json.str();
+}
+
+namespace {
+
+void write_fdi_sensor(JsonWriter& json, const fdi::FdiSensorStats& s) {
+  json.begin_object();
+  json.key("steps").value(s.steps);
+  json.key("gate_exceedances").value(s.gate_exceedances);
+  json.key("fused_steps").value(s.fused_steps);
+  json.key("substituted_steps").value(s.substituted_steps);
+  json.key("nis_mean").value(s.nis_samples > 0
+                                 ? s.nis_sum / static_cast<double>(s.nis_samples)
+                                 : 0.0);
+  json.key("nis_max").value(s.nis_max);
+  json.key("nis_samples").value(s.nis_samples);
+  json.key("detections").value(s.health.detections);
+  json.key("false_trips").value(s.health.false_trips);
+  json.key("isolations").value(s.health.isolations);
+  json.key("re_trips").value(s.health.re_trips);
+  json.key("recovery_probes").value(s.health.recovery_probes);
+  json.key("readmissions").value(s.health.readmissions);
+  json.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const fdi::FdiStats& stats) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("steps").value(stats.steps);
+  json.key("substituted_steps").value(stats.substituted_steps);
+  json.key("cabin");
+  write_fdi_sensor(json, stats.cabin);
+  json.key("outside");
+  write_fdi_sensor(json, stats.outside);
+  json.key("soc");
+  write_fdi_sensor(json, stats.soc);
   json.end_object();
   return json.str();
 }

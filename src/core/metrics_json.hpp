@@ -31,4 +31,8 @@ std::string to_json(const ctl::SupervisorStats& stats);
 /// Fault-injection activity counters as a JSON object.
 std::string to_json(const sim::FaultInjectionStats& stats);
 
+/// FDIR telemetry (per-sensor residual statistics and health-edge
+/// counters) as a JSON object.
+std::string to_json(const fdi::FdiStats& stats);
+
 }  // namespace evc::core

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "util/expect.hpp"
+#include "util/serialize.hpp"
 
 namespace evc::core {
 
@@ -229,6 +230,122 @@ hvac::HvacInputs MpcClimateController::decide(
   held_input_ = input;
   next_plan_time_s_ = context.time_s + options_.step_s;
   return input;
+}
+
+namespace {
+
+void save_hvac_inputs(BinaryWriter& w, const hvac::HvacInputs& in) {
+  w.write_f64(in.supply_temp_c);
+  w.write_f64(in.coil_temp_c);
+  w.write_f64(in.recirculation);
+  w.write_f64(in.air_flow_kg_s);
+}
+
+hvac::HvacInputs load_hvac_inputs(BinaryReader& r) {
+  hvac::HvacInputs in;
+  in.supply_temp_c = r.read_f64();
+  in.coil_temp_c = r.read_f64();
+  in.recirculation = r.read_f64();
+  in.air_flow_kg_s = r.read_f64();
+  return in;
+}
+
+void save_qp_counters(BinaryWriter& w, const opt::QpPerfCounters& c) {
+  w.write_size(c.solves);
+  w.write_size(c.ipm_iterations);
+  w.write_size(c.factorizations);
+  w.write_size(c.schur_solves);
+  w.write_size(c.schur_regularizations);
+  w.write_size(c.dense_fallbacks);
+  w.write_size(c.timeouts);
+  w.write_size(c.warm_starts);
+  w.write_size(c.workspace_growths);
+  w.write_size(c.peak_workspace_bytes);
+}
+
+opt::QpPerfCounters load_qp_counters(BinaryReader& r) {
+  opt::QpPerfCounters c;
+  c.solves = r.read_size();
+  c.ipm_iterations = r.read_size();
+  c.factorizations = r.read_size();
+  c.schur_solves = r.read_size();
+  c.schur_regularizations = r.read_size();
+  c.dense_fallbacks = r.read_size();
+  c.timeouts = r.read_size();
+  c.warm_starts = r.read_size();
+  c.workspace_growths = r.read_size();
+  c.peak_workspace_bytes = r.read_size();
+  return c;
+}
+
+}  // namespace
+
+void MpcClimateController::save_state(BinaryWriter& writer) const {
+  writer.section("mpc");
+  writer.write_bool(last_solution_.has_value());
+  if (last_solution_) writer.write_f64_vec(last_solution_->data());
+  writer.write_f64_vec(last_duals_.y_eq.data());
+  writer.write_f64_vec(last_duals_.z_ineq.data());
+  writer.write_bool(held_input_.has_value());
+  if (held_input_) save_hvac_inputs(writer, *held_input_);
+  writer.write_f64(next_plan_time_s_);
+  writer.write_f64_vec(planned_soc_);
+  writer.write_u8(static_cast<std::uint8_t>(last_plan_status_));
+  writer.write_bool(last_plan_applied_);
+
+  writer.section("mpc_stats");
+  writer.write_size(stats_.plans);
+  writer.write_size(stats_.failures);
+  writer.write_size(stats_.sqp_iterations);
+  writer.write_size(stats_.qp_iterations);
+  writer.write_u64(stats_.solve_time_ns);
+  writer.write_size(stats_.dual_warm_starts);
+  writer.write_size(stats_.converged);
+  writer.write_size(stats_.max_iteration_exits);
+  writer.write_size(stats_.timeouts);
+  writer.write_size(stats_.numerical_failures);
+  writer.write_size(stats_.rejected_plans);
+  save_qp_counters(writer, solver_.qp_counters());
+  writer.write_size(stats_.solver_workspace_bytes);
+}
+
+void MpcClimateController::load_state(BinaryReader& reader) {
+  reader.expect_section("mpc");
+  if (reader.read_bool()) {
+    last_solution_ = num::Vector(reader.read_f64_vec());
+  } else {
+    last_solution_.reset();
+  }
+  last_duals_.y_eq = num::Vector(reader.read_f64_vec());
+  last_duals_.z_ineq = num::Vector(reader.read_f64_vec());
+  if (reader.read_bool()) {
+    held_input_ = load_hvac_inputs(reader);
+  } else {
+    held_input_.reset();
+  }
+  next_plan_time_s_ = reader.read_f64();
+  planned_soc_ = reader.read_f64_vec();
+  last_plan_status_ = static_cast<opt::SolveStatus>(reader.read_u8());
+  last_plan_applied_ = reader.read_bool();
+
+  reader.expect_section("mpc_stats");
+  stats_.plans = reader.read_size();
+  stats_.failures = reader.read_size();
+  stats_.sqp_iterations = reader.read_size();
+  stats_.qp_iterations = reader.read_size();
+  stats_.solve_time_ns = reader.read_u64();
+  stats_.dual_warm_starts = reader.read_size();
+  stats_.converged = reader.read_size();
+  stats_.max_iteration_exits = reader.read_size();
+  stats_.timeouts = reader.read_size();
+  stats_.numerical_failures = reader.read_size();
+  stats_.rejected_plans = reader.read_size();
+  // The restored counters go straight back into the workspace, so the
+  // resumed run's aggregate solver telemetry continues where it left off
+  // (decide() re-reads them from the solver after every plan).
+  stats_.solver = load_qp_counters(reader);
+  solver_.restore_qp_counters(stats_.solver);
+  stats_.solver_workspace_bytes = reader.read_size();
 }
 
 }  // namespace evc::core

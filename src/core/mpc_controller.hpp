@@ -101,6 +101,13 @@ class MpcClimateController : public ctl::ClimateController {
   /// Whether the most recent solve's plan was applied to the actuators.
   bool last_plan_applied() const { return last_plan_applied_; }
 
+  /// Checkpoint hooks: round-trip everything that influences future plans —
+  /// warm-start primal/dual state, zero-order-hold input, plan schedule,
+  /// and the aggregate telemetry (including the QP workspace counters,
+  /// which are pushed back into the solver on load).
+  void save_state(BinaryWriter& writer) const override;
+  void load_state(BinaryReader& reader) override;
+
  private:
   MpcWindowData make_window(const ctl::ControlContext& context) const;
   num::Vector warm_start(const MpcFormulation& formulation) const;

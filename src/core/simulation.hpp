@@ -8,6 +8,8 @@
 #pragma once
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "control/controller.hpp"
 #include "core/ev_model.hpp"
@@ -53,6 +55,84 @@ class ClimateSimulation {
 
  private:
   EvParams params_;
+};
+
+/// Incremental form of ClimateSimulation::run() with crash-safe
+/// checkpoint/restore.
+///
+/// A session owns everything Algorithm 1's loop mutates — the EV plant,
+/// accumulators, traces, the recorder — and borrows the controller, drive
+/// profile, and (optional) fault injector from the caller. Stepping it to
+/// completion reproduces run() byte-for-byte; it exists so a run can be
+/// *interrupted*:
+///
+///   checkpoint() serializes the complete mutable state (session, plant,
+///   controller — via ClimateController::save_state — and fault-injector
+///   RNG streams) into a sim::Checkpoint envelope; restore() loads one into
+///   a freshly constructed session. A restored run continues byte-
+///   identically: N steps + checkpoint + restore + M steps equals N + M
+///   uninterrupted steps, including every trace sample, metric, controller
+///   decision, and subsequent fault episode (tested; the chaos-soak bench
+///   leans on this through kill-and-resume cycles).
+///
+/// The caller must reconstruct the same configuration before restore():
+/// same profile, options, controller structure, and fault specs. Mismatches
+/// the payload can detect (tier counts, spec counts, FDI presence) throw
+/// SerializationError; value-level divergence is on the caller, exactly
+/// like any process reloading its own state file.
+class SimulationSession {
+ public:
+  /// Resets `controller` and prepares step 0. The referenced controller,
+  /// profile, and options.fault_injector must outlive the session.
+  SimulationSession(const EvParams& params, ctl::ClimateController& controller,
+                    const drive::DriveProfile& profile,
+                    const SimulationOptions& options = {});
+
+  std::size_t step_index() const { return step_; }
+  std::size_t total_steps() const { return n_; }
+  bool done() const { return step_ >= n_; }
+  double cabin_temp_c() const { return ev_.cabin_temp_c(); }
+  double soc_percent() const { return ev_.soc_percent(); }
+
+  /// Advance one control step (precondition: !done()).
+  void advance();
+  /// Advance until done.
+  void run_to_completion();
+
+  /// Metrics + recorder for the steps taken so far (canonically called at
+  /// done(); the recorder is moved out, leaving the session finished).
+  SimulationResult finish();
+
+  /// Serialize the complete mutable state into an encoded checkpoint
+  /// envelope (see sim::Checkpoint).
+  std::string checkpoint() const;
+  /// Restore from an encoded envelope produced by checkpoint() under the
+  /// same configuration. Throws SerializationError on any mismatch the
+  /// payload can detect.
+  void restore(const std::string& encoded);
+  /// Atomic file convenience wrappers around checkpoint()/restore().
+  void checkpoint_to_file(const std::string& path) const;
+  void restore_from_file(const std::string& path);
+
+ private:
+  EvParams params_;
+  ctl::ClimateController& controller_;
+  const drive::DriveProfile& profile_;
+  SimulationOptions options_;
+
+  EvModel ev_;
+  std::vector<double> motor_power_;
+  std::size_t forecast_samples_ = 1;
+  double dt_ = 1.0;
+  std::size_t n_ = 0;
+
+  std::size_t step_ = 0;
+  double motor_acc_ = 0.0;
+  double hvac_acc_ = 0.0;
+  double total_acc_ = 0.0;
+  std::vector<double> cabin_trace_;
+  std::vector<double> hvac_power_trace_;
+  sim::StateRecorder recorder_;
 };
 
 }  // namespace evc::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/expect.hpp"
+#include "util/serialize.hpp"
 
 namespace evc::hvac {
 
@@ -87,6 +88,16 @@ HvacStepResult HvacPlant::step(const HvacInputs& requested,
                                     outside_temp_c, dt_s);
   result.cabin_temp_c = cabin_temp_c_;
   return result;
+}
+
+void HvacPlant::save_state(BinaryWriter& writer) const {
+  writer.section("hvac_plant");
+  writer.write_f64(cabin_temp_c_);
+}
+
+void HvacPlant::load_state(BinaryReader& reader) {
+  reader.expect_section("hvac_plant");
+  cabin_temp_c_ = reader.read_f64();
 }
 
 }  // namespace evc::hvac

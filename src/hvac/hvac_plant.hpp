@@ -12,6 +12,11 @@
 #include "hvac/cabin_model.hpp"
 #include "hvac/hvac_params.hpp"
 
+namespace evc {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace evc
+
 namespace evc::hvac {
 
 /// Result of applying inputs for one step.
@@ -49,6 +54,9 @@ class HvacPlant {
   /// Apply inputs for `dt` seconds: sanitize, compute power, advance Tz.
   HvacStepResult step(const HvacInputs& requested, double outside_temp_c,
                       double dt_s);
+
+  void save_state(BinaryWriter& writer) const;
+  void load_state(BinaryReader& reader);
 
  private:
   CabinThermalModel cabin_;

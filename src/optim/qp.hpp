@@ -123,6 +123,12 @@ class QpWorkspace {
 
   const QpPerfCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = QpPerfCounters{}; }
+  /// Overwrite the counters wholesale — used by checkpoint restore so a
+  /// resumed controller reports the same aggregate solver telemetry as an
+  /// uninterrupted run.
+  void restore_counters(const QpPerfCounters& counters) {
+    counters_ = counters;
+  }
 
   /// Bytes currently held across all buffers (capacity, not size).
   std::size_t bytes() const;

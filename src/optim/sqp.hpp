@@ -95,6 +95,11 @@ class SqpSolver {
   /// solver's workspace.
   const QpPerfCounters& qp_counters() const { return qp_ws_.counters(); }
   void reset_qp_counters() const { qp_ws_.reset_counters(); }
+  /// Checkpoint-restore path: reinstate aggregate counters saved from a
+  /// previous solver instance.
+  void restore_qp_counters(const QpPerfCounters& counters) const {
+    qp_ws_.restore_counters(counters);
+  }
   /// Bytes held by the persistent QP workspace.
   std::size_t workspace_bytes() const { return qp_ws_.bytes(); }
 

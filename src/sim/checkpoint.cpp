@@ -1,0 +1,90 @@
+#include "sim/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace evc::sim {
+
+namespace {
+
+// 8 bytes: readable prefix + NUL + format generation.
+const char kMagic[8] = {'E', 'V', 'C', 'K', 'P', 'T', '\0', '\1'};
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+Checkpoint Checkpoint::wrap(std::string payload) {
+  Checkpoint c;
+  c.payload_ = std::move(payload);
+  return c;
+}
+
+std::string Checkpoint::encode() const {
+  BinaryWriter w;
+  std::string out(kMagic, sizeof(kMagic));
+  w.write_u32(kCheckpointFormatVersion);
+  w.write_u64(payload_.size());
+  w.write_u64(fnv1a64(payload_));
+  out += w.take();
+  out += payload_;
+  return out;
+}
+
+Checkpoint Checkpoint::decode(const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) ||
+      bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0)
+    throw SerializationError("not a checkpoint (bad magic)");
+  BinaryReader header(
+      std::string_view(bytes).substr(sizeof(kMagic)));
+  const std::uint32_t version = header.read_u32();
+  if (version != kCheckpointFormatVersion)
+    throw SerializationError(
+        "checkpoint format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kCheckpointFormatVersion) + ")");
+  const std::uint64_t length = header.read_u64();
+  const std::uint64_t checksum = header.read_u64();
+  const std::size_t body_offset = bytes.size() - header.remaining();
+  if (header.remaining() != length)
+    throw SerializationError("checkpoint payload truncated");
+  Checkpoint c;
+  c.payload_ = bytes.substr(body_offset);
+  if (fnv1a64(c.payload_) != checksum)
+    throw SerializationError("checkpoint checksum mismatch (torn write?)");
+  return c;
+}
+
+void Checkpoint::write_file(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) throw std::runtime_error("cannot open " + tmp + " for write");
+    const std::string bytes = encode();
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    file.flush();
+    if (!file) throw std::runtime_error("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("cannot rename " + tmp + " to " + path);
+}
+
+Checkpoint Checkpoint::read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open checkpoint " + path);
+  std::string bytes((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+  return decode(bytes);
+}
+
+}  // namespace evc::sim

@@ -1,0 +1,58 @@
+// Versioned, crash-safe checkpoint container.
+//
+// A Checkpoint wraps an opaque serialized payload (produced with
+// BinaryWriter by whoever owns the state — canonically
+// core::SimulationSession) in a self-validating envelope:
+//
+//   magic "EVCKPT\0\1" · format version u32 · payload length u64 ·
+//   FNV-1a-64 checksum of the payload · payload bytes
+//
+// The envelope makes two failure modes detectable instead of corrupting:
+//   * version skew — a checkpoint from a different format version is
+//     refused with SerializationError, never reinterpreted;
+//   * torn or bit-rotted files — the checksum must match before a single
+//     payload byte is handed to the reader.
+// write_file() is atomic (write to a sibling temp file, flush, rename), so
+// a process killed mid-checkpoint leaves either the previous complete
+// checkpoint or a temp file the loader never looks at — never a half
+// checkpoint under the real name. That property is what the chaos-soak
+// harness's kill-and-resume cycles lean on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace evc::sim {
+
+/// Bumped whenever the payload layout changes incompatibly.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+class Checkpoint {
+ public:
+  Checkpoint() = default;
+  /// Wrap an already-serialized payload (e.g. BinaryWriter::take()).
+  static Checkpoint wrap(std::string payload);
+
+  const std::string& payload() const { return payload_; }
+
+  /// Envelope + payload as a byte string.
+  std::string encode() const;
+  /// Parse and validate an encoded checkpoint. Throws SerializationError
+  /// on bad magic, version skew, truncation, or checksum mismatch.
+  static Checkpoint decode(const std::string& bytes);
+
+  /// Atomically write encode() to `path` (temp file + flush + rename).
+  /// Throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+  /// Read and validate a checkpoint file (same failure modes as decode,
+  /// plus std::runtime_error when the file cannot be read).
+  static Checkpoint read_file(const std::string& path);
+
+ private:
+  std::string payload_;
+};
+
+/// FNV-1a 64-bit — tiny, dependency-free integrity hash for the envelope.
+std::uint64_t fnv1a64(const std::string& bytes);
+
+}  // namespace evc::sim

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/expect.hpp"
+#include "util/serialize.hpp"
 
 namespace evc::sim {
 
@@ -175,6 +176,48 @@ std::size_t FaultInjector::apply(ctl::ControlContext& context) {
 
   if (active > 0) ++stats_.faulted_steps;
   return active;
+}
+
+void FaultInjector::save_state(BinaryWriter& writer) const {
+  writer.section("fault_injector");
+  writer.write_size(states_.size());
+  for (const SpecState& state : states_) {
+    writer.write_u64(state.rng.state());
+    writer.write_size(state.active_steps_left);
+    writer.write_f64(state.held_value);
+    writer.write_f64_vec(state.held_forecast);
+  }
+  writer.write_size(stats_.steps);
+  writer.write_size(stats_.faulted_steps);
+  writer.write_size(stats_.episodes);
+  writer.write_size(stats_.bias_steps);
+  writer.write_size(stats_.stuck_steps);
+  writer.write_size(stats_.dropout_steps);
+  writer.write_size(stats_.stale_steps);
+  writer.write_size(stats_.spike_steps);
+  writer.write_size(stats_.quantization_steps);
+}
+
+void FaultInjector::load_state(BinaryReader& reader) {
+  reader.expect_section("fault_injector");
+  const std::size_t n = reader.read_size();
+  if (n != specs_.size())
+    throw SerializationError("fault injector spec count mismatch");
+  for (SpecState& state : states_) {
+    state.rng.set_state(reader.read_u64());
+    state.active_steps_left = reader.read_size();
+    state.held_value = reader.read_f64();
+    state.held_forecast = reader.read_f64_vec();
+  }
+  stats_.steps = reader.read_size();
+  stats_.faulted_steps = reader.read_size();
+  stats_.episodes = reader.read_size();
+  stats_.bias_steps = reader.read_size();
+  stats_.stuck_steps = reader.read_size();
+  stats_.dropout_steps = reader.read_size();
+  stats_.stale_steps = reader.read_size();
+  stats_.spike_steps = reader.read_size();
+  stats_.quantization_steps = reader.read_size();
 }
 
 }  // namespace evc::sim

@@ -32,6 +32,11 @@
 #include "control/controller.hpp"
 #include "util/random.hpp"
 
+namespace evc {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace evc
+
 namespace evc::sim {
 
 enum class FaultSignal {
@@ -93,6 +98,12 @@ class FaultInjector {
 
   const FaultInjectionStats& stats() const { return stats_; }
   const std::vector<FaultSpec>& specs() const { return specs_; }
+
+  /// Checkpoint hooks: per-spec SplitMix64 stream positions, episode
+  /// progress, hold latches, and the aggregate stats — a restored injector
+  /// replays the identical fault sequence the uninterrupted run would see.
+  void save_state(BinaryWriter& writer) const;
+  void load_state(BinaryReader& reader);
 
  private:
   struct SpecState {

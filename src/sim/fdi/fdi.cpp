@@ -1,0 +1,254 @@
+#include "sim/fdi/fdi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/serialize.hpp"
+
+namespace evc::fdi {
+
+SensorFdi::SensorFdi(FdiOptions options, hvac::HvacParams hvac_params)
+    : options_(options),
+      hvac_params_(hvac_params),
+      power_model_(hvac_params, hvac_params.target_temp_c),
+      cabin_vs_(hvac_params),
+      soc_vs_(options.battery_capacity_ah, options.battery_nominal_voltage_v),
+      cabin_filter_(hvac_params.target_temp_c, options.cabin.residual),
+      outside_filter_(hvac_params.target_temp_c, options.outside.residual),
+      soc_filter_(90.0, options.soc.residual),
+      cabin_health_(options.cabin.health),
+      outside_health_(options.outside.health),
+      soc_health_(options.soc.health) {}
+
+void SensorFdi::initialize_from(const ctl::ControlContext& raw) {
+  // Anchor every filter on the first finite reading; a sensor that is
+  // already dead at step 0 starts from the configured nominal instead and
+  // the residual chain flags it from there.
+  if (std::isfinite(raw.cabin_temp_c)) {
+    cabin_filter_.reinitialize(raw.cabin_temp_c);
+  }
+  if (std::isfinite(raw.outside_temp_c)) {
+    outside_filter_.reinitialize(raw.outside_temp_c);
+  }
+  if (std::isfinite(raw.soc_percent)) {
+    soc_filter_.reinitialize(raw.soc_percent);
+  }
+  // The first step has no applied actuation yet — predict "no change".
+  pending_cabin_ = {cabin_filter_.estimate(), 1.0};
+  pending_outside_ = {outside_filter_.estimate(), 1.0};
+  pending_soc_ = {soc_filter_.estimate(), 1.0};
+  initialized_ = true;
+}
+
+void SensorFdi::SensorAccounting::note(const ResidualUpdate& update,
+                                       bool substituted) {
+  ++steps;
+  if (!update.within_gate) {
+    ++gate_exceedances;
+  }
+  if (update.fused) {
+    ++fused_steps;
+  }
+  if (substituted) {
+    ++substituted_steps;
+  }
+  if (std::isfinite(update.nis)) {
+    nis_sum += update.nis;
+    nis_max = std::max(nis_max, update.nis);
+    ++nis_samples;
+  }
+}
+
+FdiFrame SensorFdi::assess(const ctl::ControlContext& raw) {
+  if (!initialized_) {
+    initialize_from(raw);
+  }
+  last_dt_s_ = raw.dt_s;
+  last_motor_power_w_ = raw.motor_power_forecast_w.empty()
+                            ? 0.0
+                            : raw.motor_power_forecast_w.front();
+  if (!std::isfinite(last_motor_power_w_)) {
+    last_motor_power_w_ = 0.0;
+  }
+
+  // Residual step: fuse only while the health layer still trusts the
+  // sensor; during ISOLATED/RECOVERING the filter coasts open-loop and its
+  // estimate is the virtual-sensor value.
+  const ResidualUpdate cabin_u =
+      cabin_filter_.step(pending_cabin_.value, pending_cabin_.decay,
+                         raw.cabin_temp_c, !cabin_health_.isolated());
+  const ResidualUpdate outside_u =
+      outside_filter_.step(pending_outside_.value, pending_outside_.decay,
+                           raw.outside_temp_c, !outside_health_.isolated());
+  const ResidualUpdate soc_u =
+      soc_filter_.step(pending_soc_.value, pending_soc_.decay,
+                       raw.soc_percent, !soc_health_.isolated());
+
+  cabin_health_.step(cabin_u.within_gate);
+  outside_health_.step(outside_u.within_gate);
+  soc_health_.step(soc_u.within_gate);
+
+  FdiFrame frame;
+  frame.cabin_health = cabin_health_.state();
+  frame.outside_health = outside_health_.state();
+  frame.soc_health = soc_health_.state();
+  frame.cabin_substituted = cabin_health_.isolated();
+  frame.outside_substituted = outside_health_.isolated();
+  frame.soc_substituted = soc_health_.isolated();
+  // Pass-through guarantee: a trusted sensor's raw bytes go through
+  // untouched; only an isolated sensor is replaced by the model estimate.
+  frame.cabin_temp_c =
+      frame.cabin_substituted ? cabin_filter_.estimate() : raw.cabin_temp_c;
+  frame.outside_temp_c = frame.outside_substituted
+                             ? outside_filter_.estimate()
+                             : raw.outside_temp_c;
+  frame.soc_percent = frame.soc_substituted
+                          ? std::clamp(soc_filter_.estimate(), 0.0, 100.0)
+                          : raw.soc_percent;
+
+  ++steps_;
+  if (frame.any_substituted()) {
+    ++substituted_steps_;
+  }
+  cabin_acc_.note(cabin_u, frame.cabin_substituted);
+  outside_acc_.note(outside_u, frame.outside_substituted);
+  soc_acc_.note(soc_u, frame.soc_substituted);
+  return frame;
+}
+
+void SensorFdi::commit(const hvac::HvacInputs& applied) {
+  if (!initialized_) {
+    return;
+  }
+  const double cabin_est = cabin_filter_.estimate();
+  const double outside_est = outside_filter_.estimate();
+
+  pending_cabin_ =
+      cabin_vs_.predict(cabin_est, applied, outside_est, last_dt_s_);
+  pending_outside_ = outside_vs_.predict(outside_est);
+
+  // Coulomb counting over the commanded electrical power: HVAC draw for
+  // the applied actuation at the estimated temperatures, plus traction and
+  // accessory load.
+  const double mixed =
+      power_model_.mixed_temp(applied.recirculation, outside_est, cabin_est);
+  const double hvac_w = power_model_.power_for(applied, mixed).total();
+  const double total_w =
+      hvac_w + last_motor_power_w_ + options_.accessory_power_w;
+  pending_soc_ =
+      soc_vs_.predict(soc_filter_.estimate(), total_w, last_dt_s_);
+}
+
+FdiSensorStats SensorFdi::sensor_stats(
+    const SensorAccounting& acc, const HealthStateMachine& machine) const {
+  FdiSensorStats s;
+  s.steps = acc.steps;
+  s.gate_exceedances = acc.gate_exceedances;
+  s.fused_steps = acc.fused_steps;
+  s.substituted_steps = acc.substituted_steps;
+  s.nis_sum = acc.nis_sum;
+  s.nis_max = acc.nis_max;
+  s.nis_samples = acc.nis_samples;
+  s.health = machine.counters();
+  return s;
+}
+
+FdiStats SensorFdi::stats() const {
+  FdiStats s;
+  s.steps = steps_;
+  s.substituted_steps = substituted_steps_;
+  s.cabin = sensor_stats(cabin_acc_, cabin_health_);
+  s.outside = sensor_stats(outside_acc_, outside_health_);
+  s.soc = sensor_stats(soc_acc_, soc_health_);
+  return s;
+}
+
+void SensorFdi::reset() {
+  cabin_filter_.reinitialize(hvac_params_.target_temp_c);
+  outside_filter_.reinitialize(hvac_params_.target_temp_c);
+  soc_filter_.reinitialize(90.0);
+  cabin_health_.reset();
+  outside_health_.reset();
+  soc_health_.reset();
+  initialized_ = false;
+  pending_cabin_ = {};
+  pending_outside_ = {};
+  pending_soc_ = {};
+  last_dt_s_ = 1.0;
+  last_motor_power_w_ = 0.0;
+  steps_ = 0;
+  substituted_steps_ = 0;
+  cabin_acc_ = {};
+  outside_acc_ = {};
+  soc_acc_ = {};
+}
+
+void SensorFdi::SensorAccounting::save_state(BinaryWriter& w) const {
+  w.write_size(steps);
+  w.write_size(gate_exceedances);
+  w.write_size(fused_steps);
+  w.write_size(substituted_steps);
+  w.write_f64(nis_sum);
+  w.write_f64(nis_max);
+  w.write_size(nis_samples);
+}
+
+void SensorFdi::SensorAccounting::load_state(BinaryReader& r) {
+  steps = r.read_size();
+  gate_exceedances = r.read_size();
+  fused_steps = r.read_size();
+  substituted_steps = r.read_size();
+  nis_sum = r.read_f64();
+  nis_max = r.read_f64();
+  nis_samples = r.read_size();
+}
+
+void SensorFdi::save_state(BinaryWriter& w) const {
+  w.section("fdi");
+  w.write_bool(initialized_);
+  w.write_f64(pending_cabin_.value);
+  w.write_f64(pending_cabin_.decay);
+  w.write_f64(pending_outside_.value);
+  w.write_f64(pending_outside_.decay);
+  w.write_f64(pending_soc_.value);
+  w.write_f64(pending_soc_.decay);
+  w.write_f64(last_dt_s_);
+  w.write_f64(last_motor_power_w_);
+  w.write_size(steps_);
+  w.write_size(substituted_steps_);
+  cabin_filter_.save_state(w);
+  outside_filter_.save_state(w);
+  soc_filter_.save_state(w);
+  cabin_health_.save_state(w);
+  outside_health_.save_state(w);
+  soc_health_.save_state(w);
+  cabin_acc_.save_state(w);
+  outside_acc_.save_state(w);
+  soc_acc_.save_state(w);
+}
+
+void SensorFdi::load_state(BinaryReader& r) {
+  r.expect_section("fdi");
+  initialized_ = r.read_bool();
+  pending_cabin_.value = r.read_f64();
+  pending_cabin_.decay = r.read_f64();
+  pending_outside_.value = r.read_f64();
+  pending_outside_.decay = r.read_f64();
+  pending_soc_.value = r.read_f64();
+  pending_soc_.decay = r.read_f64();
+  last_dt_s_ = r.read_f64();
+  last_motor_power_w_ = r.read_f64();
+  steps_ = r.read_size();
+  substituted_steps_ = r.read_size();
+  cabin_filter_.load_state(r);
+  outside_filter_.load_state(r);
+  soc_filter_.load_state(r);
+  cabin_health_.load_state(r);
+  outside_health_.load_state(r);
+  soc_health_.load_state(r);
+  cabin_acc_.load_state(r);
+  outside_acc_.load_state(r);
+  soc_acc_.load_state(r);
+}
+
+}  // namespace evc::fdi

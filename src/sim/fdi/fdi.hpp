@@ -1,0 +1,189 @@
+// Sensor fault detection, isolation, and recovery (FDIR) orchestrator.
+//
+// SensorFdi monitors the three scalar sensors the control loop depends on
+// — cabin temperature, outside temperature, battery SoC — with one
+// (virtual sensor, residual filter, health state machine) triple each:
+//
+//   raw measurement ──► ScalarResidualFilter ──► NIS ──► chi-square gate
+//           ▲                    ▲                           │
+//           │          model prediction from          verdict▼
+//     substitution     the previous step's       HealthStateMachine
+//     when isolated    applied actuation
+//
+// Per control step the supervisor calls
+//   assess(raw_context)  — evaluate residuals, advance health machines,
+//                          and substitute the virtual-sensor estimate for
+//                          every isolated sensor (detection), then
+//   commit(applied)      — arm the next step's model predictions with the
+//                          actuation that actually reached the plant
+//                          (recovery of the redundancy).
+//
+// Pass-through guarantee: while a sensor is healthy its measured value is
+// returned *bit-for-bit* — the FDI layer only observes. A clean run with
+// FDI enabled is therefore byte-identical to one without it (tested).
+//
+// The whole subsystem serializes into checkpoints (filters, health
+// machines, pending predictions, statistics), so a killed run resumes its
+// fault episodes mid-flight.
+#pragma once
+
+#include <cstddef>
+
+#include "control/controller.hpp"
+#include "hvac/hvac_params.hpp"
+#include "hvac/hvac_plant.hpp"
+#include "sim/fdi/health.hpp"
+#include "sim/fdi/residual.hpp"
+#include "sim/fdi/virtual_sensor.hpp"
+
+namespace evc {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace evc
+
+namespace evc::fdi {
+
+struct FdiSensorOptions {
+  ResidualOptions residual;
+  HealthOptions health;
+};
+
+struct FdiOptions {
+  /// Master switch — a SupervisedController only constructs the FDIR
+  /// subsystem when enabled.
+  bool enabled = false;
+  FdiSensorOptions cabin;
+  FdiSensorOptions outside;
+  FdiSensorOptions soc;
+  /// Battery constants for the coulomb-counting SoC virtual sensor;
+  /// core::make_supervised_mpc_controller overwrites them from EvParams.
+  double battery_capacity_ah = 66.2;
+  double battery_nominal_voltage_v = 360.0;
+  /// Constant accessory draw added to the coulomb counter's power estimate.
+  double accessory_power_w = 250.0;
+
+  FdiOptions() {
+    // Cabin: the thermal model is the plant's own ODE, so the residual is
+    // dominated by sensor noise; outside: an honest random walk needs more
+    // process noise; SoC: percent-scale readings with slow dynamics.
+    cabin.residual = {0.05, 0.25, 1.0, kChiSq1Tail01Percent, 25.0};
+    outside.residual = {0.10, 0.25, 1.0, kChiSq1Tail01Percent, 25.0};
+    soc.residual = {1e-4, 0.01, 0.25, kChiSq1Tail01Percent, 4.0};
+  }
+};
+
+/// Per-sensor telemetry (health-edge counters + residual statistics).
+struct FdiSensorStats {
+  std::size_t steps = 0;
+  std::size_t gate_exceedances = 0;  ///< steps with NIS outside the gate
+  std::size_t fused_steps = 0;       ///< measurement folded into the model
+  std::size_t substituted_steps = 0; ///< virtual estimate replaced the sensor
+  double nis_sum = 0.0;              ///< finite NIS only
+  double nis_max = 0.0;
+  std::size_t nis_samples = 0;
+  HealthCounters health;
+};
+
+struct FdiStats {
+  std::size_t steps = 0;
+  std::size_t substituted_steps = 0;  ///< steps with ≥ 1 substitution
+  FdiSensorStats cabin;
+  FdiSensorStats outside;
+  FdiSensorStats soc;
+};
+
+/// One step's verdict: the sensor values the controller should see (raw
+/// bytes when trusted, virtual estimates when isolated) plus per-sensor
+/// health for telemetry.
+struct FdiFrame {
+  double cabin_temp_c = 0.0;
+  double outside_temp_c = 0.0;
+  double soc_percent = 0.0;
+  bool cabin_substituted = false;
+  bool outside_substituted = false;
+  bool soc_substituted = false;
+  SensorHealth cabin_health = SensorHealth::kHealthy;
+  SensorHealth outside_health = SensorHealth::kHealthy;
+  SensorHealth soc_health = SensorHealth::kHealthy;
+
+  bool any_substituted() const {
+    return cabin_substituted || outside_substituted || soc_substituted;
+  }
+};
+
+class SensorFdi {
+ public:
+  SensorFdi(FdiOptions options, hvac::HvacParams hvac_params);
+
+  /// Evaluate this step's raw measurements (pre-sanitation: NaNs and wild
+  /// values are exactly what the residuals must catch). Advances health
+  /// machines and returns possibly-substituted sensor values.
+  FdiFrame assess(const ctl::ControlContext& raw);
+
+  /// Arm the next step's model predictions with the actuation the
+  /// supervisor actually emitted.
+  void commit(const hvac::HvacInputs& applied);
+
+  FdiStats stats() const;
+  SensorHealth cabin_health() const { return cabin_health_.state(); }
+  SensorHealth outside_health() const { return outside_health_.state(); }
+  SensorHealth soc_health() const { return soc_health_.state(); }
+  const FdiOptions& options() const { return options_; }
+  /// Current virtual-sensor estimates (the substitution values).
+  double cabin_estimate_c() const { return cabin_filter_.estimate(); }
+  double outside_estimate_c() const { return outside_filter_.estimate(); }
+  double soc_estimate_percent() const { return soc_filter_.estimate(); }
+
+  void reset();
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
+
+ private:
+  struct SensorAccounting {
+    std::size_t steps = 0;
+    std::size_t gate_exceedances = 0;
+    std::size_t fused_steps = 0;
+    std::size_t substituted_steps = 0;
+    double nis_sum = 0.0;
+    double nis_max = 0.0;
+    std::size_t nis_samples = 0;
+
+    void note(const ResidualUpdate& update, bool substituted);
+    void save_state(BinaryWriter& w) const;
+    void load_state(BinaryReader& r);
+  };
+
+  void initialize_from(const ctl::ControlContext& raw);
+  FdiSensorStats sensor_stats(const SensorAccounting& acc,
+                              const HealthStateMachine& machine) const;
+
+  FdiOptions options_;
+  hvac::HvacParams hvac_params_;
+  hvac::HvacPlant power_model_;  ///< power_for() only; holds no run state
+
+  CabinTempVirtualSensor cabin_vs_;
+  AmbientTempVirtualSensor outside_vs_;
+  CoulombSocVirtualSensor soc_vs_;
+
+  ScalarResidualFilter cabin_filter_;
+  ScalarResidualFilter outside_filter_;
+  ScalarResidualFilter soc_filter_;
+  HealthStateMachine cabin_health_;
+  HealthStateMachine outside_health_;
+  HealthStateMachine soc_health_;
+
+  bool initialized_ = false;
+  Prediction pending_cabin_;
+  Prediction pending_outside_;
+  Prediction pending_soc_;
+  double last_dt_s_ = 1.0;
+  double last_motor_power_w_ = 0.0;
+
+  std::size_t steps_ = 0;
+  std::size_t substituted_steps_ = 0;
+  SensorAccounting cabin_acc_;
+  SensorAccounting outside_acc_;
+  SensorAccounting soc_acc_;
+};
+
+}  // namespace evc::fdi

@@ -1,0 +1,132 @@
+#include "sim/fdi/health.hpp"
+
+#include "util/expect.hpp"
+#include "util/serialize.hpp"
+
+namespace evc::fdi {
+
+std::string to_string(SensorHealth state) {
+  switch (state) {
+    case SensorHealth::kHealthy:
+      return "healthy";
+    case SensorHealth::kSuspect:
+      return "suspect";
+    case SensorHealth::kIsolated:
+      return "isolated";
+    case SensorHealth::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+HealthStateMachine::HealthStateMachine(HealthOptions options)
+    : options_(options) {
+  EVC_EXPECT(options_.suspect_after >= 1, "suspect_after must be >= 1");
+  EVC_EXPECT(options_.isolate_after >= 1, "isolate_after must be >= 1");
+  EVC_EXPECT(options_.readmit_after >= 1, "readmit_after must be >= 1");
+}
+
+void HealthStateMachine::reset() {
+  state_ = SensorHealth::kHealthy;
+  streak_ = 0;
+  dwell_ = 0;
+  counters_ = HealthCounters{};
+}
+
+SensorHealth HealthStateMachine::step(bool consistent) {
+  ++counters_.steps_in_state[static_cast<std::size_t>(state_)];
+  ++dwell_;
+
+  switch (state_) {
+    case SensorHealth::kHealthy:
+      if (consistent) {
+        streak_ = 0;
+      } else if (++streak_ >= options_.suspect_after) {
+        ++counters_.detections;
+        state_ = SensorHealth::kSuspect;
+        streak_ = 0;
+        dwell_ = 0;
+      }
+      break;
+
+    case SensorHealth::kSuspect:
+      if (consistent) {
+        // False-trip guard: one good reading clears suspicion; persistent
+        // faults re-enter through the full suspect_after hysteresis.
+        ++counters_.false_trips;
+        state_ = SensorHealth::kHealthy;
+        streak_ = 0;
+        dwell_ = 0;
+      } else if (++streak_ >= options_.isolate_after) {
+        ++counters_.isolations;
+        state_ = SensorHealth::kIsolated;
+        streak_ = 0;
+        dwell_ = 0;
+      }
+      break;
+
+    case SensorHealth::kIsolated:
+      // The dwell requirement stops a stuck sensor that sweeps past the
+      // true value from flapping straight into a recovery probe.
+      if (consistent && dwell_ > options_.min_isolation_steps) {
+        ++counters_.recovery_probes;
+        state_ = SensorHealth::kRecovering;
+        streak_ = 1;  // this consistent step counts toward re-admission
+        dwell_ = 0;
+        if (streak_ >= options_.readmit_after) {
+          ++counters_.readmissions;
+          state_ = SensorHealth::kHealthy;
+          streak_ = 0;
+        }
+      }
+      break;
+
+    case SensorHealth::kRecovering:
+      if (!consistent) {
+        ++counters_.re_trips;
+        ++counters_.isolations;
+        state_ = SensorHealth::kIsolated;
+        streak_ = 0;
+        dwell_ = 0;
+      } else if (++streak_ >= options_.readmit_after) {
+        ++counters_.readmissions;
+        state_ = SensorHealth::kHealthy;
+        streak_ = 0;
+        dwell_ = 0;
+      }
+      break;
+  }
+  return state_;
+}
+
+void HealthStateMachine::save_state(BinaryWriter& w) const {
+  w.section("health");
+  w.write_u8(static_cast<std::uint8_t>(state_));
+  w.write_size(streak_);
+  w.write_size(dwell_);
+  w.write_size(counters_.detections);
+  w.write_size(counters_.false_trips);
+  w.write_size(counters_.isolations);
+  w.write_size(counters_.re_trips);
+  w.write_size(counters_.recovery_probes);
+  w.write_size(counters_.readmissions);
+  for (std::size_t s : counters_.steps_in_state) w.write_size(s);
+}
+
+void HealthStateMachine::load_state(BinaryReader& r) {
+  r.expect_section("health");
+  const std::uint8_t raw = r.read_u8();
+  if (raw > 3) throw SerializationError("invalid sensor health state");
+  state_ = static_cast<SensorHealth>(raw);
+  streak_ = r.read_size();
+  dwell_ = r.read_size();
+  counters_.detections = r.read_size();
+  counters_.false_trips = r.read_size();
+  counters_.isolations = r.read_size();
+  counters_.re_trips = r.read_size();
+  counters_.recovery_probes = r.read_size();
+  counters_.readmissions = r.read_size();
+  for (std::size_t& s : counters_.steps_in_state) s = r.read_size();
+}
+
+}  // namespace evc::fdi

@@ -1,0 +1,108 @@
+// Per-sensor health state machine of the FDIR layer.
+//
+// Each monitored sensor owns one HealthStateMachine driven by a per-step
+// boolean verdict ("was this step's residual inside the chi-square
+// gate?"). The four states and their edges:
+//
+//             consistent                      inconsistent × suspect_after
+//   ┌─────── HEALTHY ─────────────────────────────────┐
+//   │            ▲                                    ▼
+//   │ consistent │ (false-trip guard)              SUSPECT
+//   │            └──────────────────────┐             │ inconsistent
+//   │                                   │             │ × isolate_after
+//   │ consistent × readmit_after        │             ▼
+//   └──────── RECOVERING ◄── consistent ┴─────── ISOLATED
+//                  │        (after min_isolation_steps dwell)
+//                  └── inconsistent ──► ISOLATED   (re-trip)
+//
+//   * HEALTHY → SUSPECT after `suspect_after` consecutive inconsistent
+//     steps (a detection).
+//   * SUSPECT → HEALTHY on the first consistent step (the false-trip
+//     guard: an isolated spike never escalates, and the guard counter
+//     records how often the gate fired without a confirmed fault).
+//   * SUSPECT → ISOLATED after `isolate_after` further consecutive
+//     inconsistent steps (an isolation; the supervisor substitutes the
+//     virtual sensor from here on).
+//   * ISOLATED → RECOVERING when the measurement agrees with the virtual
+//     estimate again, but only after `min_isolation_steps` of dwell —
+//     a stuck sensor that briefly sweeps past the true value must not
+//     start a recovery probe.
+//   * RECOVERING → HEALTHY after `readmit_after` consecutive consistent
+//     steps (re-admission); any inconsistent step re-trips straight back
+//     to ISOLATED.
+//
+// Every edge is counted (HealthCounters) and the whole machine serializes
+// into checkpoints, so a resumed run continues the exact same episode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace evc {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace evc
+
+namespace evc::fdi {
+
+enum class SensorHealth : std::uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kIsolated = 2,
+  kRecovering = 3,
+};
+
+std::string to_string(SensorHealth state);
+
+struct HealthOptions {
+  /// Consecutive inconsistent steps before HEALTHY degrades to SUSPECT.
+  std::size_t suspect_after = 2;
+  /// Further consecutive inconsistent steps before SUSPECT is ISOLATED.
+  std::size_t isolate_after = 3;
+  /// Minimum dwell in ISOLATED before a recovery probe may begin.
+  std::size_t min_isolation_steps = 10;
+  /// Consecutive consistent steps in RECOVERING before re-admission.
+  std::size_t readmit_after = 12;
+};
+
+struct HealthCounters {
+  std::size_t detections = 0;    ///< HEALTHY → SUSPECT edges
+  std::size_t false_trips = 0;   ///< SUSPECT → HEALTHY edges (guard)
+  std::size_t isolations = 0;    ///< entries into ISOLATED (incl. re-trips)
+  std::size_t re_trips = 0;      ///< RECOVERING → ISOLATED edges
+  std::size_t recovery_probes = 0;  ///< ISOLATED → RECOVERING edges
+  std::size_t readmissions = 0;  ///< RECOVERING → HEALTHY edges
+  std::size_t steps_in_state[4] = {0, 0, 0, 0};
+};
+
+class HealthStateMachine {
+ public:
+  explicit HealthStateMachine(HealthOptions options);
+
+  SensorHealth state() const { return state_; }
+  const HealthCounters& counters() const { return counters_; }
+  /// The sensor's reading must not be trusted (ISOLATED or RECOVERING):
+  /// the supervisor substitutes the virtual estimate.
+  bool isolated() const {
+    return state_ == SensorHealth::kIsolated ||
+           state_ == SensorHealth::kRecovering;
+  }
+
+  /// Advance one step with this step's gate verdict; returns the state
+  /// after the transition.
+  SensorHealth step(bool consistent);
+
+  void reset();
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
+
+ private:
+  HealthOptions options_;
+  SensorHealth state_ = SensorHealth::kHealthy;
+  std::size_t streak_ = 0;  ///< consecutive steps driving the pending edge
+  std::size_t dwell_ = 0;   ///< steps spent in the current state
+  HealthCounters counters_;
+};
+
+}  // namespace evc::fdi

@@ -1,0 +1,75 @@
+#include "sim/fdi/residual.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.hpp"
+#include "util/serialize.hpp"
+
+namespace evc::fdi {
+
+ScalarResidualFilter::ScalarResidualFilter(double initial_estimate,
+                                           ResidualOptions options)
+    : options_(options), x_(initial_estimate),
+      p_(options.initial_variance) {
+  EVC_EXPECT(options_.process_noise > 0.0, "process noise must be positive");
+  EVC_EXPECT(options_.measurement_noise > 0.0,
+             "measurement noise must be positive");
+  EVC_EXPECT(options_.initial_variance > 0.0,
+             "initial variance must be positive");
+  EVC_EXPECT(options_.gate_nis > 0.0, "NIS gate must be positive");
+  EVC_EXPECT(options_.max_variance >= options_.initial_variance,
+             "variance ceiling below the initial variance");
+}
+
+void ScalarResidualFilter::reinitialize(double estimate) {
+  x_ = estimate;
+  p_ = options_.initial_variance;
+}
+
+ResidualUpdate ScalarResidualFilter::step(double predicted, double decay,
+                                          double measured, bool allow_fuse) {
+  EVC_EXPECT(decay > 0.0 && decay <= 1.0, "decay factor outside (0, 1]");
+  // Time update: the caller propagated the estimate through the model.
+  x_ = predicted;
+  p_ = std::min(decay * decay * p_ + options_.process_noise,
+                options_.max_variance);
+
+  ResidualUpdate update;
+  update.variance = p_ + options_.measurement_noise;
+  if (std::isfinite(measured)) {
+    update.innovation = measured - x_;
+    update.nis = update.innovation * update.innovation / update.variance;
+    update.within_gate = update.nis <= options_.gate_nis;
+  } else {
+    // A silent sensor has no residual; it votes "inconsistent".
+    update.innovation = std::numeric_limits<double>::quiet_NaN();
+    update.nis = std::numeric_limits<double>::quiet_NaN();
+    update.within_gate = false;
+  }
+
+  // Innovation gating: only a trusted AND plausible measurement updates
+  // the model estimate — one outlier never contaminates the redundancy.
+  if (allow_fuse && update.within_gate) {
+    const double gain = p_ / update.variance;
+    x_ += gain * update.innovation;
+    p_ *= (1.0 - gain);
+    update.fused = true;
+  }
+  return update;
+}
+
+void ScalarResidualFilter::save_state(BinaryWriter& w) const {
+  w.section("residual");
+  w.write_f64(x_);
+  w.write_f64(p_);
+}
+
+void ScalarResidualFilter::load_state(BinaryReader& r) {
+  r.expect_section("residual");
+  x_ = r.read_f64();
+  p_ = r.read_f64();
+}
+
+}  // namespace evc::fdi

@@ -1,0 +1,89 @@
+// Model-based residual generation for the FDIR layer.
+//
+// Each monitored scalar sensor is shadowed by a one-state Kalman filter
+// whose prediction comes from an analytical-redundancy model (cabin
+// thermal ODE, ambient random walk, coulomb-counted SoC — see
+// virtual_sensor.hpp). The residual is the filter innovation
+// ν = measured − predicted and its normalized form NIS = ν²/S with
+// S = P⁻ + R. Under a healthy sensor NIS ~ χ²(1), so a fixed quantile of
+// χ²(1) is a constant-false-alarm-rate gate: NIS above the gate is a
+// detection vote, fed to the sensor's HealthStateMachine.
+//
+// Two behaviours matter for fault tolerance:
+//   * innovation gating — a measurement outside the gate is *never fused*
+//     into the estimate, so one outlier cannot poison the model state that
+//     later steps validate against;
+//   * open-loop coasting — while a sensor is isolated the filter runs
+//     pure-model (fuse = false) and its estimate IS the virtual sensor
+//     value the supervisor substitutes.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/kalman.hpp"
+
+namespace evc {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace evc
+
+namespace evc::fdi {
+
+/// Upper-tail quantiles of χ²(1): gate thresholds for a scalar NIS test
+/// at the given false-alarm rate per step.
+inline constexpr double kChiSq1Tail5Percent = 3.841;
+inline constexpr double kChiSq1Tail1Percent = 6.635;
+inline constexpr double kChiSq1Tail01Percent = 10.828;
+
+struct ResidualOptions {
+  /// Per-step model error variance q (signal units squared).
+  double process_noise = 0.05;
+  /// Sensor noise variance R (signal units squared).
+  double measurement_noise = 0.25;
+  /// Initial estimate variance P0.
+  double initial_variance = 1.0;
+  /// NIS gate (χ²(1) quantile). Default: 0.1 % false alarms per step.
+  double gate_nis = kChiSq1Tail01Percent;
+  /// Variance ceiling while coasting open-loop — without it a long
+  /// isolation inflates P until every reading looks consistent.
+  double max_variance = 25.0;
+};
+
+/// One step's residual evaluation.
+struct ResidualUpdate {
+  double innovation = 0.0;
+  double variance = 0.0;  ///< innovation variance S
+  double nis = 0.0;       ///< NaN when the measurement was non-finite
+  bool within_gate = false;  ///< finite && nis <= gate
+  bool fused = false;        ///< measurement was folded into the estimate
+};
+
+class ScalarResidualFilter {
+ public:
+  ScalarResidualFilter(double initial_estimate, ResidualOptions options);
+
+  double estimate() const { return x_; }
+  double variance() const { return p_; }
+  const ResidualOptions& options() const { return options_; }
+
+  /// Advance one step. `predicted` is the model's propagation of the
+  /// current estimate, `decay` its sensitivity d(predicted)/d(estimate),
+  /// `measured` the raw sensor reading (may be NaN), and `allow_fuse`
+  /// whether the health layer still trusts the sensor. The measurement is
+  /// fused only when allowed AND inside the gate (innovation gating).
+  ResidualUpdate step(double predicted, double decay, double measured,
+                      bool allow_fuse);
+
+  /// Re-anchor the estimate (e.g. on first measurement).
+  void reinitialize(double estimate);
+
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
+
+ private:
+  ResidualOptions options_;
+  double x_;
+  double p_;
+};
+
+}  // namespace evc::fdi

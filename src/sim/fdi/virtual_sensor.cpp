@@ -1,0 +1,49 @@
+#include "sim/fdi/virtual_sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace evc::fdi {
+
+CabinTempVirtualSensor::CabinTempVirtualSensor(hvac::HvacParams params)
+    : cabin_(params) {}
+
+Prediction CabinTempVirtualSensor::predict(double cabin_estimate_c,
+                                           const hvac::HvacInputs& applied,
+                                           double outside_estimate_c,
+                                           double dt_s) const {
+  Prediction p;
+  p.value = cabin_.step_exact(cabin_estimate_c, applied.supply_temp_c,
+                              applied.air_flow_kg_s, outside_estimate_c,
+                              dt_s);
+  const hvac::HvacParams& params = cabin_.params();
+  const double conductance = params.wall_ua_w_per_k +
+                             std::max(0.0, applied.air_flow_kg_s) *
+                                 params.air_cp;
+  const double rate = conductance / params.cabin_capacitance_j_per_k;
+  p.decay = std::exp(-rate * std::max(0.0, dt_s));
+  return p;
+}
+
+CoulombSocVirtualSensor::CoulombSocVirtualSensor(double capacity_ah,
+                                                 double nominal_voltage_v)
+    : capacity_ah_(capacity_ah), nominal_voltage_v_(nominal_voltage_v) {
+  EVC_EXPECT(capacity_ah_ > 0.0, "battery capacity must be positive");
+  EVC_EXPECT(nominal_voltage_v_ > 0.0, "nominal voltage must be positive");
+}
+
+Prediction CoulombSocVirtualSensor::predict(double soc_estimate_percent,
+                                            double total_electrical_power_w,
+                                            double dt_s) const {
+  const double capacity_j = capacity_ah_ * 3600.0 * nominal_voltage_v_;
+  const double delta =
+      100.0 * total_electrical_power_w * std::max(0.0, dt_s) / capacity_j;
+  Prediction p;
+  p.value = std::clamp(soc_estimate_percent - delta, 0.0, 100.0);
+  p.decay = 1.0;
+  return p;
+}
+
+}  // namespace evc::fdi

@@ -1,0 +1,70 @@
+// Analytical-redundancy virtual sensors.
+//
+// When a physical sensor is isolated, the supervisor needs a *live*
+// substitute — a value that keeps tracking the plant, not an aging
+// last-good hold. Each virtual sensor is a stateless one-step predictor
+// over the quantities the control loop already knows (the applied
+// actuation, the ambient estimate, the commanded power): it maps the
+// current fused estimate to the model's prediction for the next step plus
+// the sensitivity of that prediction, which the ScalarResidualFilter uses
+// for both variance propagation and residual generation. Prediction state
+// (the estimate itself) lives in the filter; these classes carry only
+// model parameters, so checkpointing them is free.
+#pragma once
+
+#include "hvac/cabin_model.hpp"
+#include "hvac/hvac_params.hpp"
+
+namespace evc::fdi {
+
+/// A one-step model prediction: x̂⁺ = value, with d(value)/d(x̂) = decay.
+struct Prediction {
+  double value = 0.0;
+  double decay = 1.0;  ///< sensitivity in (0, 1]
+};
+
+/// Cabin temperature from the exact linear-ODE cabin step (paper Eq. 7–8)
+/// driven by the *applied* HVAC actuation — the same model the plant and
+/// the MPC use, evaluated from the estimate instead of the sensor.
+class CabinTempVirtualSensor {
+ public:
+  explicit CabinTempVirtualSensor(hvac::HvacParams params);
+
+  /// Predict the cabin temperature after `dt_s` given the applied inputs
+  /// and the (estimated) outside temperature.
+  Prediction predict(double cabin_estimate_c, const hvac::HvacInputs& applied,
+                     double outside_estimate_c, double dt_s) const;
+
+ private:
+  hvac::CabinThermalModel cabin_;
+};
+
+/// Ambient temperature as a bounded random walk: weather changes over
+/// minutes, not control steps, so "it is what it was" plus process noise
+/// is the honest model (the residual options carry the noise).
+class AmbientTempVirtualSensor {
+ public:
+  Prediction predict(double outside_estimate_c) const {
+    return {outside_estimate_c, 1.0};
+  }
+};
+
+/// Battery SoC by coulomb counting the commanded electrical power:
+///   SoC⁺ = SoC − 100 · P·dt / (3600 · Q_Ah · V_nom).
+/// Drift sources (Peukert rate effects, BMS derating, voltage sag) are
+/// absorbed by the residual filter's process noise while the sensor is
+/// healthy — fusion re-anchors the counter every step — and bounded by
+/// the variance ceiling while it coasts through an isolation.
+class CoulombSocVirtualSensor {
+ public:
+  CoulombSocVirtualSensor(double capacity_ah, double nominal_voltage_v);
+
+  Prediction predict(double soc_estimate_percent,
+                     double total_electrical_power_w, double dt_s) const;
+
+ private:
+  double capacity_ah_;
+  double nominal_voltage_v_;
+};
+
+}  // namespace evc::fdi

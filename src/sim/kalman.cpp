@@ -1,6 +1,6 @@
 #include "sim/kalman.hpp"
 
-#include <stdexcept>
+#include <limits>
 
 #include "numerics/factorization.hpp"
 #include "util/expect.hpp"
@@ -30,14 +30,24 @@ void KalmanFilter::predict(const num::Vector& u) {
   p_.symmetrize();
 }
 
-void KalmanFilter::update(const num::Vector& z) {
+KalmanUpdateResult KalmanFilter::update(const num::Vector& z) {
   EVC_EXPECT(z.size() == h_.rows(), "KF: measurement dimension mismatch");
-  const num::Vector innovation = z - h_ * x_;
+  KalmanUpdateResult result;
+  result.innovation = z - h_ * x_;
   num::Matrix s = h_ * p_ * h_.transposed();
   s += r_;
+  result.innovation_covariance = s;
   num::LuFactorization lu(s);
-  if (!lu.ok())
-    throw std::runtime_error("KalmanFilter: singular innovation covariance");
+  if (!lu.ok()) {
+    // Structured status: the caller keeps the prediction and decides what a
+    // skipped fusion means (the FDI layer counts it as a residual outage).
+    result.ok = false;
+    result.nis = std::numeric_limits<double>::quiet_NaN();
+    return result;
+  }
+
+  // NIS = νᵀ S⁻¹ ν through the same factorization (S is symmetric).
+  result.nis = result.innovation.dot(lu.solve(result.innovation));
 
   // Gain K = P Hᵀ S⁻¹, applied column-wise through the factorization.
   const num::Matrix pht = p_ * h_.transposed();
@@ -50,11 +60,13 @@ void KalmanFilter::update(const num::Vector& z) {
     for (std::size_t j = 0; j < m; ++j) gain(i, j) = ki[j];
   }
 
-  x_ += gain * innovation;
+  x_ += gain * result.innovation;
   num::Matrix i_kh = num::Matrix::identity(n);
   i_kh -= gain * h_;
   p_ = i_kh * p_;
   p_.symmetrize();
+  result.ok = true;
+  return result;
 }
 
 CabinTempEstimator::CabinTempEstimator(double initial_temp_c,
@@ -65,18 +77,23 @@ CabinTempEstimator::CabinTempEstimator(double initial_temp_c,
              "noise variances must be positive");
 }
 
-void CabinTempEstimator::step(double predicted_next_temp, double decay,
-                              double measured) {
+ScalarKalmanUpdate CabinTempEstimator::step(double predicted_next_temp,
+                                            double decay, double measured) {
   EVC_EXPECT(decay > 0.0 && decay <= 1.0,
              "cabin decay factor outside (0, 1]");
   // Predict: the caller already propagated the estimate through the exact
   // cabin step; only the variance needs the sensitivity.
   x_ = predicted_next_temp;
   p_ = decay * decay * p_ + q_;
-  // Update against the noisy sensor.
+  // Update against the noisy sensor, surfacing the innovation statistics.
+  ScalarKalmanUpdate update;
+  update.innovation = measured - x_;
+  update.variance = p_ + r_;
+  update.nis = update.innovation * update.innovation / update.variance;
   const double gain = p_ / (p_ + r_);
-  x_ += gain * (measured - x_);
+  x_ += gain * update.innovation;
   p_ *= (1.0 - gain);
+  return update;
 }
 
 }  // namespace evc::sim

@@ -13,6 +13,21 @@
 
 namespace evc::sim {
 
+/// Everything a fault-detection consumer needs from one measurement
+/// update: the innovation ν = z − Hx̂, its covariance S = HPHᵀ + R, and
+/// the normalized innovation squared NIS = νᵀS⁻¹ν. Under a healthy sensor
+/// the NIS is χ²-distributed with m degrees of freedom, which is what the
+/// FDI layer's chi-square gate tests (docs/ROBUSTNESS.md).
+struct KalmanUpdateResult {
+  /// False when the innovation covariance was numerically singular; the
+  /// state/covariance were left at the prediction (no silent corruption)
+  /// and `nis` is NaN.
+  bool ok = false;
+  num::Vector innovation;
+  num::Matrix innovation_covariance;
+  double nis = 0.0;
+};
+
 /// Discrete-time linear Kalman filter:
 ///   x_{k+1} = F x_k + B u_k + w,  w ~ N(0, Q)
 ///   z_k     = H x_k + v,          v ~ N(0, R)
@@ -28,14 +43,23 @@ class KalmanFilter {
 
   /// Time update with control input u.
   void predict(const num::Vector& u);
-  /// Measurement update with observation z. Throws std::runtime_error if
-  /// the innovation covariance is singular.
-  void update(const num::Vector& z);
+  /// Measurement update with observation z. A singular innovation
+  /// covariance is reported as a structured status (`ok == false`, state
+  /// untouched) rather than thrown — the caller decides whether a skipped
+  /// fusion is fatal.
+  KalmanUpdateResult update(const num::Vector& z);
 
  private:
   num::Matrix f_, b_, h_, q_, r_;
   num::Vector x_;
   num::Matrix p_;
+};
+
+/// Scalar analogue of KalmanUpdateResult for the one-state estimators.
+struct ScalarKalmanUpdate {
+  double innovation = 0.0;   ///< ν = measured − predicted
+  double variance = 0.0;     ///< S = P⁻ + R
+  double nis = 0.0;          ///< ν²/S, χ²(1) under a healthy sensor
 };
 
 /// One-state Kalman estimator for the cabin temperature: per step the
@@ -56,7 +80,9 @@ class CabinTempEstimator {
   /// Advance: `predicted_next_temp` is the model's exact-step prediction
   /// from the current *estimate*, `decay` its sensitivity ∂Tz⁺/∂Tz
   /// (e^{−rate·dt} of the cabin ODE), and `measured` the noisy sensor.
-  void step(double predicted_next_temp, double decay, double measured);
+  /// Returns the innovation statistics of the update (FDI consumes them).
+  ScalarKalmanUpdate step(double predicted_next_temp, double decay,
+                          double measured);
 
  private:
   double x_;  ///< state estimate (°C)

@@ -2,6 +2,7 @@
 
 #include "util/csv.hpp"
 #include "util/expect.hpp"
+#include "util/serialize.hpp"
 
 namespace evc::sim {
 
@@ -59,6 +60,28 @@ void StateRecorder::write_csv(const std::string& path) const {
     std::vector<double> row{t[r]};
     for (const auto& [name, ch] : channels_) row.push_back(ch.v[r]);
     csv.write_row(row);
+  }
+}
+
+void StateRecorder::save_state(BinaryWriter& writer) const {
+  writer.section("recorder");
+  writer.write_size(channels_.size());
+  for (const auto& [name, ch] : channels_) {
+    writer.write_string(name);
+    writer.write_f64_vec(ch.t);
+    writer.write_f64_vec(ch.v);
+  }
+}
+
+void StateRecorder::load_state(BinaryReader& reader) {
+  reader.expect_section("recorder");
+  channels_.clear();
+  const std::size_t n = reader.read_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string name = reader.read_string();
+    Channel& ch = channels_[name];
+    ch.t = reader.read_f64_vec();
+    ch.v = reader.read_f64_vec();
   }
 }
 

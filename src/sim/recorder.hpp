@@ -8,6 +8,11 @@
 #include <string>
 #include <vector>
 
+namespace evc {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace evc
+
 namespace evc::sim {
 
 class StateRecorder {
@@ -25,6 +30,11 @@ class StateRecorder {
   /// Write all channels to CSV (outer join on recording order; channels must
   /// have equal lengths).
   void write_csv(const std::string& path) const;
+
+  /// Checkpoint hooks: every channel's full time/value history (std::map
+  /// ordering makes the byte layout deterministic).
+  void save_state(BinaryWriter& writer) const;
+  void load_state(BinaryReader& reader);
 
  private:
   struct Channel {

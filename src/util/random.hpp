@@ -39,6 +39,11 @@ class SplitMix64 {
   /// simplicity over throughput; these paths are not hot).
   double normal(double mean = 0.0, double stddev = 1.0);
 
+  /// Raw generator state, for checkpoint/restore: a stream restored with
+  /// set_state continues bit-exactly where state() was taken.
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t state) { state_ = state; }
+
  private:
   std::uint64_t state_;
 };

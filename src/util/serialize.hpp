@@ -1,0 +1,88 @@
+// Typed binary serialization for crash-safe checkpoints.
+//
+// A checkpoint must restore a run *byte-identically*: every double is
+// written as its IEEE-754 bit pattern (never through decimal text), every
+// integer little-endian fixed-width. Each value carries a one-byte type
+// tag and every logical group a named section marker, so a reader that
+// drifts out of sync with the writer fails loudly with a
+// SerializationError instead of silently reinterpreting bytes — the
+// difference between "restore refused" and "restore corrupted the run".
+//
+// The format is deliberately writer-defined (no schema evolution): a
+// checkpoint is consumed by the same binary version that produced it, and
+// the enclosing sim::Checkpoint header carries the format version that
+// gates cross-version loads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evc {
+
+/// Thrown on any malformed read: truncation, type-tag mismatch, section
+/// name mismatch, or trailing bytes.
+class SerializationError : public std::runtime_error {
+ public:
+  explicit SerializationError(const std::string& what)
+      : std::runtime_error("serialization: " + what) {}
+};
+
+class BinaryWriter {
+ public:
+  void write_bool(bool v);
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  /// std::size_t values travel as u64 regardless of platform width.
+  void write_size(std::size_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 bit pattern — bit-exact round trip, NaN payloads included.
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f64_vec(const std::vector<double>& v);
+  void write_size_vec(const std::vector<std::size_t>& v);
+  /// Named group marker; the reader must consume it with expect_section.
+  void section(const std::string& name);
+
+  const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void tag(char t) { out_.push_back(t); }
+  void raw(const void* data, std::size_t n);
+  std::string out_;
+};
+
+class BinaryReader {
+ public:
+  /// Reads from `data`; the caller keeps the buffer alive for the
+  /// reader's lifetime.
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  bool read_bool();
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::size_t read_size();
+  double read_f64();
+  std::string read_string();
+  std::vector<double> read_f64_vec();
+  std::vector<std::size_t> read_size_vec();
+  /// Consume a section marker; throws unless its name is exactly `name`.
+  void expect_section(const std::string& name);
+
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  char tag();
+  void expect_tag(char want, const char* what);
+  void raw(void* out, std::size_t n);
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace evc

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "sim/fault_injection.hpp"
+#include "util/serialize.hpp"
 
 namespace evc::sim {
 namespace {
@@ -205,6 +206,63 @@ TEST(FaultInjection, RejectsMalformedSpecs) {
                                0.5, 0.0, 1, 10.0, 5.0}},
                              1),
                std::invalid_argument);
+}
+
+TEST(FaultInjection, SaveLoadResumesEveryStreamBitExactly) {
+  // Mid-episode checkpoint: a fresh injector with the same specs/seed that
+  // loads the saved state must replay the remaining schedule identically —
+  // per-spec RNG positions, active episodes, and held values included.
+  const std::vector<FaultSpec> specs = {
+      {FaultSignal::kCabinTemp, FaultKind::kDropout, 0.10, 0.0, 3},
+      {FaultSignal::kOutsideTemp, FaultKind::kSpike, 0.10, 25.0, 1},
+      {FaultSignal::kSoc, FaultKind::kStuckAt, 0.05, 120.0, 5},
+      {FaultSignal::kMotorForecast, FaultKind::kStaleSample, 0.05, 0.0, 8},
+  };
+  FaultInjector a(specs, 77);
+  for (int t = 0; t < 40; ++t) {
+    ctl::ControlContext c = make_context(static_cast<double>(t));
+    a.apply(c);
+  }
+
+  BinaryWriter w;
+  a.save_state(w);
+  const std::string bytes = w.take();
+  FaultInjector b(specs, 77);
+  BinaryReader r(bytes);
+  b.load_state(r);
+  EXPECT_TRUE(r.at_end());
+
+  for (int t = 40; t < 200; ++t) {
+    ctl::ControlContext ca = make_context(static_cast<double>(t));
+    ctl::ControlContext cb = make_context(static_cast<double>(t));
+    a.apply(ca);
+    b.apply(cb);
+    // Bitwise agreement, NaN patterns included.
+    EXPECT_TRUE((ca.cabin_temp_c == cb.cabin_temp_c) ||
+                (std::isnan(ca.cabin_temp_c) && std::isnan(cb.cabin_temp_c)))
+        << "step " << t;
+    EXPECT_EQ(ca.outside_temp_c, cb.outside_temp_c) << "step " << t;
+    EXPECT_TRUE((ca.soc_percent == cb.soc_percent) ||
+                (std::isnan(ca.soc_percent) && std::isnan(cb.soc_percent)))
+        << "step " << t;
+    EXPECT_EQ(ca.motor_power_forecast_w, cb.motor_power_forecast_w)
+        << "step " << t;
+  }
+  EXPECT_EQ(a.stats().episodes, b.stats().episodes);
+  EXPECT_EQ(a.stats().faulted_steps, b.stats().faulted_steps);
+}
+
+TEST(FaultInjection, SpecCountMismatchOnLoadIsRefused) {
+  FaultInjector a({{FaultSignal::kCabinTemp, FaultKind::kBias, 0.5, 1.0, 1}},
+                  9);
+  BinaryWriter w;
+  a.save_state(w);
+  const std::string bytes = w.take();
+  FaultInjector b({{FaultSignal::kCabinTemp, FaultKind::kBias, 0.5, 1.0, 1},
+                   {FaultSignal::kSoc, FaultKind::kDropout, 0.5, 0.0, 1}},
+                  9);
+  BinaryReader r(bytes);
+  EXPECT_THROW(b.load_state(r), SerializationError);
 }
 
 TEST(FaultInjection, StatsPartitionByKind) {

@@ -1,0 +1,435 @@
+// FDIR layer: health state machine transition table, residual filter
+// gating, and the SensorFdi orchestrator (detection, isolation with
+// virtual-sensor substitution, recovery, checkpoint round-trips).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "control/controller.hpp"
+#include "hvac/hvac_params.hpp"
+#include "sim/fdi/fdi.hpp"
+#include "sim/fdi/health.hpp"
+#include "sim/fdi/residual.hpp"
+#include "util/serialize.hpp"
+
+namespace evc::fdi {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+HealthOptions small_options() {
+  HealthOptions o;
+  o.suspect_after = 2;
+  o.isolate_after = 3;
+  o.min_isolation_steps = 4;
+  o.readmit_after = 3;
+  return o;
+}
+
+void drive(HealthStateMachine& m, bool consistent, std::size_t steps) {
+  for (std::size_t i = 0; i < steps; ++i) m.step(consistent);
+}
+
+// --- Health state machine: every edge of the transition table ---
+
+TEST(HealthMachine, HealthyStaysHealthyOnConsistentSteps) {
+  HealthStateMachine m(small_options());
+  drive(m, true, 50);
+  EXPECT_EQ(m.state(), SensorHealth::kHealthy);
+  EXPECT_EQ(m.counters().detections, 0u);
+  EXPECT_FALSE(m.isolated());
+}
+
+TEST(HealthMachine, HealthyToSuspectExactlyAtSuspectAfter) {
+  HealthStateMachine m(small_options());
+  drive(m, false, small_options().suspect_after - 1);
+  EXPECT_EQ(m.state(), SensorHealth::kHealthy);  // one short of the edge
+  m.step(false);
+  EXPECT_EQ(m.state(), SensorHealth::kSuspect);
+  EXPECT_EQ(m.counters().detections, 1u);
+}
+
+TEST(HealthMachine, SuspectFallsBackToHealthyOnFirstConsistentStep) {
+  HealthStateMachine m(small_options());
+  drive(m, false, small_options().suspect_after);
+  ASSERT_EQ(m.state(), SensorHealth::kSuspect);
+  m.step(true);  // false-trip guard: a single spike never escalates
+  EXPECT_EQ(m.state(), SensorHealth::kHealthy);
+  EXPECT_EQ(m.counters().false_trips, 1u);
+  EXPECT_EQ(m.counters().isolations, 0u);
+}
+
+TEST(HealthMachine, SuspectToIsolatedExactlyAtIsolateAfter) {
+  const HealthOptions o = small_options();
+  HealthStateMachine m(o);
+  drive(m, false, o.suspect_after);
+  drive(m, false, o.isolate_after - 1);
+  EXPECT_EQ(m.state(), SensorHealth::kSuspect);  // one short of the edge
+  m.step(false);
+  EXPECT_EQ(m.state(), SensorHealth::kIsolated);
+  EXPECT_EQ(m.counters().isolations, 1u);
+  EXPECT_TRUE(m.isolated());
+}
+
+TEST(HealthMachine, IsolationDwellBlocksEarlyRecoveryProbe) {
+  const HealthOptions o = small_options();
+  HealthStateMachine m(o);
+  drive(m, false, o.suspect_after + o.isolate_after);
+  ASSERT_EQ(m.state(), SensorHealth::kIsolated);
+  // Consistent readings inside the dwell window must not start a probe —
+  // a stuck sensor sweeping past the true value looks consistent briefly.
+  drive(m, true, o.min_isolation_steps);
+  EXPECT_EQ(m.state(), SensorHealth::kIsolated);
+  EXPECT_EQ(m.counters().recovery_probes, 0u);
+  m.step(true);  // first consistent step past the dwell → probe begins
+  EXPECT_EQ(m.state(), SensorHealth::kRecovering);
+  EXPECT_EQ(m.counters().recovery_probes, 1u);
+  EXPECT_TRUE(m.isolated());  // still not trusted while recovering
+}
+
+TEST(HealthMachine, RecoveringReTripsStraightToIsolated) {
+  const HealthOptions o = small_options();
+  HealthStateMachine m(o);
+  drive(m, false, o.suspect_after + o.isolate_after);
+  drive(m, true, o.min_isolation_steps + 1);
+  ASSERT_EQ(m.state(), SensorHealth::kRecovering);
+  m.step(false);  // any inconsistency during the probe re-trips
+  EXPECT_EQ(m.state(), SensorHealth::kIsolated);
+  EXPECT_EQ(m.counters().re_trips, 1u);
+  EXPECT_EQ(m.counters().isolations, 2u);  // re-trip counts as an isolation
+}
+
+TEST(HealthMachine, RecoveringReadmitsExactlyAtReadmitAfter) {
+  const HealthOptions o = small_options();
+  HealthStateMachine m(o);
+  drive(m, false, o.suspect_after + o.isolate_after);
+  drive(m, true, o.min_isolation_steps + 1);
+  ASSERT_EQ(m.state(), SensorHealth::kRecovering);
+  // The probe step itself counted as the first consistent step, so
+  // readmit_after − 2 more leave the machine one short of the edge.
+  drive(m, true, o.readmit_after - 2);
+  EXPECT_EQ(m.state(), SensorHealth::kRecovering);
+  m.step(true);
+  EXPECT_EQ(m.state(), SensorHealth::kHealthy);
+  EXPECT_EQ(m.counters().readmissions, 1u);
+  EXPECT_FALSE(m.isolated());
+}
+
+TEST(HealthMachine, ReTripAfterProbeRequiresFullDwellAgain) {
+  const HealthOptions o = small_options();
+  HealthStateMachine m(o);
+  drive(m, false, o.suspect_after + o.isolate_after);
+  drive(m, true, o.min_isolation_steps + 1);  // → recovering
+  m.step(false);                              // re-trip → isolated
+  ASSERT_EQ(m.state(), SensorHealth::kIsolated);
+  drive(m, true, o.min_isolation_steps);
+  EXPECT_EQ(m.state(), SensorHealth::kIsolated);  // dwell restarted
+  m.step(true);
+  EXPECT_EQ(m.state(), SensorHealth::kRecovering);
+}
+
+TEST(HealthMachine, StepsInStatePartitionTotalSteps) {
+  const HealthOptions o = small_options();
+  HealthStateMachine m(o);
+  const std::size_t total = 40;
+  for (std::size_t i = 0; i < total; ++i) m.step(i % 7 < 3);
+  std::size_t sum = 0;
+  for (std::size_t s : m.counters().steps_in_state) sum += s;
+  EXPECT_EQ(sum, total);
+}
+
+TEST(HealthMachine, SaveLoadRoundTripsMidEpisode) {
+  const HealthOptions o = small_options();
+  HealthStateMachine a(o);
+  drive(a, false, o.suspect_after + 1);  // mid-way through a suspect streak
+
+  BinaryWriter w;
+  a.save_state(w);
+  const std::string bytes = w.take();
+  HealthStateMachine b(o);
+  BinaryReader r(bytes);
+  b.load_state(r);
+  EXPECT_TRUE(r.at_end());
+
+  // Both machines must continue identically, edge for edge.
+  for (int i = 0; i < 30; ++i) {
+    const bool consistent = i % 5 != 0;
+    EXPECT_EQ(a.step(consistent), b.step(consistent)) << "step " << i;
+  }
+  EXPECT_EQ(a.counters().isolations, b.counters().isolations);
+  EXPECT_EQ(a.counters().recovery_probes, b.counters().recovery_probes);
+}
+
+// --- Residual filter: chi-square gating and innovation gating ---
+
+ResidualOptions unit_residual() {
+  ResidualOptions o;
+  o.process_noise = 0.05;
+  o.measurement_noise = 0.25;
+  o.initial_variance = 1.0;
+  o.gate_nis = kChiSq1Tail01Percent;
+  o.max_variance = 25.0;
+  return o;
+}
+
+TEST(ResidualFilter, ConsistentMeasurementFusesAndPassesGate) {
+  ScalarResidualFilter f(20.0, unit_residual());
+  const ResidualUpdate u = f.step(20.0, 1.0, 20.1, /*allow_fuse=*/true);
+  EXPECT_TRUE(u.within_gate);
+  EXPECT_TRUE(u.fused);
+  EXPECT_NEAR(u.innovation, 0.1, 1e-12);
+  // NIS = ν²/S with S = (P0 + q) + R.
+  EXPECT_NEAR(u.nis, 0.01 / (1.0 + 0.05 + 0.25), 1e-12);
+  EXPECT_GT(f.estimate(), 20.0);  // pulled toward the measurement
+  EXPECT_LT(f.estimate(), 20.1);
+}
+
+TEST(ResidualFilter, OutlierIsGatedAndNeverFused) {
+  ScalarResidualFilter f(20.0, unit_residual());
+  const ResidualUpdate u = f.step(20.0, 1.0, 45.0, /*allow_fuse=*/true);
+  EXPECT_FALSE(u.within_gate);
+  EXPECT_FALSE(u.fused);
+  // Innovation gating: the outlier must not poison the estimate.
+  EXPECT_DOUBLE_EQ(f.estimate(), 20.0);
+}
+
+TEST(ResidualFilter, NaNMeasurementFailsGateWithNaNNis) {
+  ScalarResidualFilter f(20.0, unit_residual());
+  const ResidualUpdate u = f.step(20.0, 1.0, kNaN, /*allow_fuse=*/true);
+  EXPECT_FALSE(u.within_gate);
+  EXPECT_FALSE(u.fused);
+  EXPECT_TRUE(std::isnan(u.nis));
+  EXPECT_DOUBLE_EQ(f.estimate(), 20.0);  // coasts on the model
+}
+
+TEST(ResidualFilter, IsolatedSensorNeverFusesEvenInsideGate) {
+  ScalarResidualFilter f(20.0, unit_residual());
+  const ResidualUpdate u = f.step(20.0, 1.0, 20.05, /*allow_fuse=*/false);
+  EXPECT_TRUE(u.within_gate);
+  EXPECT_FALSE(u.fused);
+  EXPECT_DOUBLE_EQ(f.estimate(), 20.0);
+}
+
+TEST(ResidualFilter, CoastingVarianceIsCeiled) {
+  ResidualOptions o = unit_residual();
+  o.max_variance = 3.0;
+  ScalarResidualFilter f(20.0, o);
+  for (int i = 0; i < 500; ++i) f.step(20.0, 1.0, kNaN, false);
+  // Without the ceiling P grows without bound and every later reading
+  // would look consistent (the gate dissolves).
+  EXPECT_LE(f.variance(), 3.0 + 1e-12);
+}
+
+TEST(ResidualFilter, SaveLoadRoundTripsBitExactly) {
+  ScalarResidualFilter a(21.375, unit_residual());
+  a.step(21.4, 0.97, 21.5, true);
+  a.step(21.45, 0.97, kNaN, true);
+
+  BinaryWriter w;
+  a.save_state(w);
+  const std::string bytes = w.take();
+  ScalarResidualFilter b(0.0, unit_residual());
+  BinaryReader r(bytes);
+  b.load_state(r);
+  EXPECT_EQ(a.estimate(), b.estimate());
+  EXPECT_EQ(a.variance(), b.variance());
+}
+
+// --- SensorFdi orchestrator ---
+
+FdiOptions fast_fdi_options() {
+  FdiOptions o;
+  o.enabled = true;
+  for (FdiSensorOptions* s : {&o.cabin, &o.outside, &o.soc}) {
+    s->health.suspect_after = 2;
+    s->health.isolate_after = 3;
+    s->health.min_isolation_steps = 5;
+    s->health.readmit_after = 4;
+  }
+  return o;
+}
+
+ctl::ControlContext healthy_context(double t, double cabin = 24.0) {
+  ctl::ControlContext c;
+  c.time_s = t;
+  c.dt_s = 1.0;
+  c.cabin_temp_c = cabin;
+  c.outside_temp_c = 35.0;
+  c.soc_percent = 80.0;
+  c.motor_power_forecast_w = {5000.0};
+  c.outside_temp_forecast_c = {35.0};
+  return c;
+}
+
+hvac::HvacInputs mild_actuation() {
+  hvac::HvacInputs in;
+  in.supply_temp_c = 20.0;
+  in.coil_temp_c = 10.0;
+  in.recirculation = 0.5;
+  in.air_flow_kg_s = 0.05;
+  return in;
+}
+
+TEST(SensorFdi, HealthySensorsPassThroughBitExactly) {
+  SensorFdi fdi(fast_fdi_options(), hvac::default_hvac_params());
+  for (int i = 0; i < 20; ++i) {
+    ctl::ControlContext c = healthy_context(i, 24.0 + 0.01 * i);
+    c.soc_percent = 80.0 - 0.01 * i;
+    const FdiFrame frame = fdi.assess(c);
+    // Bit-for-bit pass-through: the FDI layer only observes.
+    EXPECT_EQ(frame.cabin_temp_c, c.cabin_temp_c);
+    EXPECT_EQ(frame.outside_temp_c, c.outside_temp_c);
+    EXPECT_EQ(frame.soc_percent, c.soc_percent);
+    EXPECT_FALSE(frame.any_substituted());
+    fdi.commit(mild_actuation());
+  }
+  EXPECT_EQ(fdi.cabin_health(), SensorHealth::kHealthy);
+  EXPECT_EQ(fdi.stats().substituted_steps, 0u);
+  EXPECT_GT(fdi.stats().cabin.fused_steps, 0u);
+}
+
+TEST(SensorFdi, StuckCabinSensorIsolatedWithinDetectionWindow) {
+  const FdiOptions options = fast_fdi_options();
+  SensorFdi fdi(options, hvac::default_hvac_params());
+
+  // Establish trust with healthy readings.
+  int t = 0;
+  for (; t < 15; ++t) {
+    fdi.assess(healthy_context(t));
+    fdi.commit(mild_actuation());
+  }
+  const double estimate_before = fdi.cabin_estimate_c();
+
+  // Cabin sensor sticks at a wildly wrong value.
+  const std::size_t window =
+      options.cabin.health.suspect_after + options.cabin.health.isolate_after;
+  FdiFrame frame;
+  for (std::size_t k = 0; k < window; ++k, ++t) {
+    frame = fdi.assess(healthy_context(t, /*cabin=*/55.0));
+    fdi.commit(mild_actuation());
+  }
+  EXPECT_EQ(frame.cabin_health, SensorHealth::kIsolated);
+  EXPECT_TRUE(frame.cabin_substituted);
+  // The substituted value is the live model estimate, not the stuck 55.
+  EXPECT_NEAR(frame.cabin_temp_c, estimate_before, 2.0);
+  EXPECT_LT(frame.cabin_temp_c, 30.0);
+  // Healthy sensors are untouched by the cabin isolation.
+  EXPECT_FALSE(frame.outside_substituted);
+  EXPECT_FALSE(frame.soc_substituted);
+  EXPECT_GT(fdi.stats().cabin.health.isolations, 0u);
+  EXPECT_GT(fdi.stats().substituted_steps, 0u);
+}
+
+TEST(SensorFdi, DroppedOutSensorIsIsolatedAndRecovers) {
+  const FdiOptions options = fast_fdi_options();
+  SensorFdi fdi(options, hvac::default_hvac_params());
+
+  int t = 0;
+  for (; t < 10; ++t) {
+    fdi.assess(healthy_context(t));
+    fdi.commit(mild_actuation());
+  }
+
+  // Permanent dropout (NaN) until isolated.
+  const std::size_t window =
+      options.cabin.health.suspect_after + options.cabin.health.isolate_after;
+  for (std::size_t k = 0; k < window; ++k, ++t) {
+    fdi.assess(healthy_context(t, kNaN));
+    fdi.commit(mild_actuation());
+  }
+  ASSERT_EQ(fdi.cabin_health(), SensorHealth::kIsolated);
+
+  // Sensor comes back agreeing with the virtual estimate: dwell, probe,
+  // then re-admission — substitution stops only after readmit_after.
+  const std::size_t recovery = options.cabin.health.min_isolation_steps +
+                               options.cabin.health.readmit_after + 4;
+  FdiFrame frame;
+  for (std::size_t k = 0; k < recovery; ++k, ++t) {
+    frame = fdi.assess(healthy_context(t, fdi.cabin_estimate_c()));
+    fdi.commit(mild_actuation());
+  }
+  EXPECT_EQ(frame.cabin_health, SensorHealth::kHealthy);
+  EXPECT_FALSE(frame.cabin_substituted);
+  EXPECT_GT(fdi.stats().cabin.health.recovery_probes, 0u);
+  EXPECT_GT(fdi.stats().cabin.health.readmissions, 0u);
+}
+
+TEST(SensorFdi, SaveLoadResumesMidIsolationBitExactly) {
+  const FdiOptions options = fast_fdi_options();
+  SensorFdi a(options, hvac::default_hvac_params());
+
+  int t = 0;
+  for (; t < 12; ++t) {
+    a.assess(healthy_context(t));
+    a.commit(mild_actuation());
+  }
+  for (int k = 0; k < 4; ++k, ++t) {  // mid-way into a fault episode
+    a.assess(healthy_context(t, 55.0));
+    a.commit(mild_actuation());
+  }
+
+  BinaryWriter w;
+  a.save_state(w);
+  const std::string bytes = w.take();
+  SensorFdi b(options, hvac::default_hvac_params());
+  BinaryReader r(bytes);
+  b.load_state(r);
+  EXPECT_TRUE(r.at_end());
+
+  // Both instances continue the episode identically, frame for frame.
+  for (int k = 0; k < 30; ++k, ++t) {
+    const double cabin = k < 10 ? 55.0 : 24.0;
+    const FdiFrame fa = a.assess(healthy_context(t, cabin));
+    const FdiFrame fb = b.assess(healthy_context(t, cabin));
+    EXPECT_EQ(fa.cabin_temp_c, fb.cabin_temp_c) << "step " << k;
+    EXPECT_EQ(fa.cabin_health, fb.cabin_health) << "step " << k;
+    EXPECT_EQ(fa.cabin_substituted, fb.cabin_substituted) << "step " << k;
+    a.commit(mild_actuation());
+    b.commit(mild_actuation());
+  }
+  EXPECT_EQ(a.stats().cabin.health.isolations,
+            b.stats().cabin.health.isolations);
+  EXPECT_EQ(a.stats().substituted_steps, b.stats().substituted_steps);
+}
+
+TEST(SensorFdi, SocReportJumpIsIsolatedAndSubstituteStaysPlausible) {
+  const FdiOptions options = fast_fdi_options();
+  SensorFdi fdi(options, hvac::default_hvac_params());
+
+  auto context_at = [&](int step, double soc) {
+    ctl::ControlContext c = healthy_context(step);
+    c.motor_power_forecast_w = {20000.0};
+    c.soc_percent = soc;
+    return c;
+  };
+
+  // Healthy phase: reported SoC follows a slow discharge.
+  double soc = 80.0;
+  int t = 0;
+  for (; t < 15; ++t) {
+    fdi.assess(context_at(t, soc));
+    fdi.commit(mild_actuation());
+    soc -= 0.01;
+  }
+  ASSERT_EQ(fdi.soc_health(), SensorHealth::kHealthy);
+
+  // BMS glitch: the report jumps to a stuck implausible value. The coulomb
+  // counter disagrees immediately and the report is isolated within the
+  // detection window; the substitute keeps coulomb-counting from the last
+  // trusted estimate instead of swallowing the stuck 95 %.
+  const std::size_t window =
+      options.soc.health.suspect_after + options.soc.health.isolate_after;
+  FdiFrame frame;
+  for (std::size_t k = 0; k < window; ++k, ++t) {
+    frame = fdi.assess(context_at(t, 95.0));
+    fdi.commit(mild_actuation());
+  }
+  EXPECT_EQ(frame.soc_health, SensorHealth::kIsolated);
+  EXPECT_TRUE(frame.soc_substituted);
+  EXPECT_LT(frame.soc_percent, 81.0);
+  EXPECT_GT(frame.soc_percent, 75.0);
+}
+
+}  // namespace
+}  // namespace evc::fdi

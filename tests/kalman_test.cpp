@@ -86,6 +86,59 @@ TEST(Kalman, ValidatesDimensions) {
   EXPECT_THROW(kf.update(Vector{1.0, 2.0}), std::invalid_argument);
 }
 
+// --- Innovation statistics for the FDI layer ---
+
+TEST(Kalman, UpdateReportsInnovationCovarianceAndNis) {
+  // One predict/update with hand-computable numbers: F = 1, Q = 0.5,
+  // R = 2, P0 = 1, x0 = 0 → after predict P⁻ = 1.5; z = 3 gives
+  // ν = 3, S = P⁻ + R = 3.5, NIS = 9 / 3.5.
+  auto kf = make_scalar_kf(1.0, 0.5, 2.0, 0.0, 1.0);
+  kf.predict(Vector{0.0});
+  const KalmanUpdateResult res = kf.update(Vector{3.0});
+  ASSERT_TRUE(res.ok);
+  EXPECT_NEAR(res.innovation[0], 3.0, 1e-12);
+  EXPECT_NEAR(res.innovation_covariance(0, 0), 3.5, 1e-12);
+  EXPECT_NEAR(res.nis, 9.0 / 3.5, 1e-12);
+}
+
+TEST(Kalman, NisIsChiSquareDistributedUnderHealthySensor) {
+  // Long healthy run: the mean NIS must hover near the χ² mean (= the
+  // measurement dimension, 1) — the property the FDI gate relies on.
+  auto kf = make_scalar_kf(1.0, 1e-6, 0.25, 5.0, 1.0);
+  SplitMix64 rng(29);
+  RunningStats nis;
+  for (int i = 0; i < 4000; ++i) {
+    kf.predict(Vector{0.0});
+    const auto res = kf.update(Vector{5.0 + rng.normal(0.0, 0.5)});
+    ASSERT_TRUE(res.ok);
+    if (i > 100) nis.add(res.nis);
+  }
+  EXPECT_NEAR(nis.mean(), 1.0, 0.15);
+}
+
+TEST(Kalman, SingularInnovationCovarianceIsReportedNotThrown) {
+  // Q = R = P0 = 0 → S = 0: the update must report the degeneracy and
+  // leave the belief untouched instead of dividing by zero.
+  auto kf = make_scalar_kf(1.0, 0.0, 0.0, 2.0, 0.0);
+  kf.predict(Vector{0.0});
+  const KalmanUpdateResult res = kf.update(Vector{7.0});
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(std::isnan(res.nis));
+  EXPECT_DOUBLE_EQ(kf.state()[0], 2.0);
+  EXPECT_DOUBLE_EQ(kf.covariance()(0, 0), 0.0);
+}
+
+TEST(CabinEstimator, StepReportsScalarInnovationStatistics) {
+  CabinTempEstimator est(24.0, 0.5, 2.0);
+  // With decay = 1 the time update gives P⁻ = P + q; the step reports
+  // ν = z − x̂, S = P⁻ + R, NIS = ν²/S.
+  const double p_minus = est.variance() + 0.5;
+  const ScalarKalmanUpdate u = est.step(24.0, 1.0, 27.0);
+  EXPECT_NEAR(u.innovation, 3.0, 1e-12);
+  EXPECT_NEAR(u.variance, p_minus + 2.0, 1e-12);
+  EXPECT_NEAR(u.nis, 9.0 / (p_minus + 2.0), 1e-12);
+}
+
 // --- Cabin temperature estimator against the real cabin model ---
 
 TEST(CabinEstimator, BeatsRawSensorNoise) {

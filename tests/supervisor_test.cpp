@@ -321,6 +321,189 @@ TEST(Supervisor, ResetRestoresPreferredTier) {
   EXPECT_EQ(sup.stats().tier_steps.size(), sup.num_tiers());
 }
 
+// --- Promotion-hysteresis boundaries ---
+
+TEST(Supervisor, PromotionBoundaryIsExactlyPromoteAfter) {
+  // The off-by-one that hysteresis bugs live on: promote_after − 1 healthy
+  // steps must NOT probe the tier above; the promote_after-th must.
+  auto tier0 = std::make_unique<ProbeController>(good_output());
+  auto tier1 = std::make_unique<ProbeController>(good_output());
+  ProbeController* t0 = tier0.get();
+  std::vector<std::unique_ptr<ClimateController>> tiers;
+  tiers.push_back(std::move(tier0));
+  tiers.push_back(std::move(tier1));
+  SupervisorOptions options;
+  options.promote_after = 5;
+  SupervisedController sup(std::move(tiers), hvac::default_hvac_params(),
+                           options);
+
+  t0->degraded = true;
+  sup.decide(make_context());
+  ASSERT_EQ(sup.current_tier(), 1u);
+  t0->degraded = false;
+
+  const int calls_at_demotion = t0->calls;
+  for (std::size_t i = 0; i + 1 < options.promote_after; ++i) {
+    sup.decide(make_context());
+    EXPECT_EQ(sup.current_tier(), 1u) << "promoted too early at step " << i;
+    EXPECT_EQ(t0->calls, calls_at_demotion) << "probed too early";
+  }
+  sup.decide(make_context());  // promote_after-th healthy step
+  EXPECT_EQ(sup.current_tier(), 0u);
+  EXPECT_EQ(sup.stats().promotions, 1u);
+  sup.decide(make_context());  // the probe itself
+  EXPECT_GT(t0->calls, calls_at_demotion);
+  EXPECT_EQ(sup.last_applied_tier(), 0u);
+}
+
+TEST(Supervisor, DemotionDuringProbeStepResetsTheStreak) {
+  // A tier that is still broken when its recovery probe arrives must be
+  // re-demoted immediately, and the healthy streak must restart from
+  // zero — otherwise a permanently broken tier is probed every step.
+  auto tier0 = std::make_unique<ProbeController>(good_output());
+  auto tier1 = std::make_unique<ProbeController>(good_output());
+  ProbeController* t0 = tier0.get();
+  ProbeController* t1 = tier1.get();
+  std::vector<std::unique_ptr<ClimateController>> tiers;
+  tiers.push_back(std::move(tier0));
+  tiers.push_back(std::move(tier1));
+  SupervisorOptions options;
+  options.promote_after = 3;
+  SupervisedController sup(std::move(tiers), hvac::default_hvac_params(),
+                           options);
+
+  t0->degraded = true;  // permanently broken preferred tier
+  sup.decide(make_context());
+  ASSERT_EQ(sup.current_tier(), 1u);
+  ASSERT_EQ(sup.stats().demotions, 1u);
+
+  // Ride out one full promotion cycle: streak builds at tier 1, the probe
+  // fires, fails, and demotes again.
+  const int t0_calls_before = t0->calls;
+  for (std::size_t i = 0; i < options.promote_after; ++i)
+    sup.decide(make_context());
+  EXPECT_EQ(sup.stats().promotions, 1u);
+  sup.decide(make_context());  // probe step: t0 fails during the probe
+  EXPECT_EQ(t0->calls, t0_calls_before + 1);
+  EXPECT_EQ(sup.last_applied_tier(), 1u);
+  EXPECT_EQ(sup.current_tier(), 1u);
+  EXPECT_EQ(sup.stats().demotions, 2u);
+
+  // The streak restarted: the next probe is again promote_after away,
+  // not immediate.
+  sup.decide(make_context());
+  sup.decide(make_context());
+  EXPECT_EQ(t0->calls, t0_calls_before + 1);
+  EXPECT_EQ(t1->calls > 0, true);
+}
+
+// --- Permanent-dropout escalation (max_hold_steps) ---
+
+TEST(Supervisor, PermanentDropoutEscalatesToSafeHold) {
+  ProbeController* probe = nullptr;
+  SupervisorOptions options;
+  options.max_hold_steps = 3;
+  auto sup = make_single_tier(probe, options);
+
+  sup.decide(make_context());  // establish last-good + safe output
+  const std::size_t safe_tier = sup.num_tiers() - 1;
+
+  // A permanent cabin-sensor dropout: the hold ages past max_hold_steps
+  // and the supervisor stops trusting last-good-value repair entirely.
+  ControlContext dead = make_context(kNaN, 35.0);
+  for (int i = 0; i < 3; ++i) sup.decide(dead);
+  EXPECT_EQ(sup.stats().hold_expirations, 0u);  // still within the budget
+  const int calls_before_expiry = probe->calls;
+
+  sup.decide(dead);  // 4th consecutive NaN: hold age exceeds the budget
+  EXPECT_EQ(sup.stats().hold_expirations, 1u);
+  EXPECT_EQ(sup.last_applied_tier(), safe_tier);
+  EXPECT_EQ(probe->calls, calls_before_expiry);  // tier not even consulted
+
+  sup.decide(dead);
+  EXPECT_EQ(sup.stats().hold_expirations, 2u);
+  EXPECT_EQ(probe->calls, calls_before_expiry);
+}
+
+TEST(Supervisor, HoldAgeResetsWhenTheSensorReturns) {
+  ProbeController* probe = nullptr;
+  SupervisorOptions options;
+  options.max_hold_steps = 2;
+  options.promote_after = 1;
+  auto sup = make_single_tier(probe, options);
+
+  sup.decide(make_context());
+  ControlContext dead = make_context(kNaN, 35.0);
+  for (int i = 0; i < 4; ++i) sup.decide(dead);
+  ASSERT_GT(sup.stats().hold_expirations, 0u);
+
+  // One finite reading resets the age; the tier chain resumes after the
+  // promotion hysteresis walks back up.
+  for (int i = 0; i < 4; ++i) sup.decide(make_context());
+  EXPECT_EQ(sup.last_applied_tier(), 0u);
+  const std::size_t expirations = sup.stats().hold_expirations;
+
+  // Intermittent (non-consecutive) dropouts never accumulate to expiry.
+  for (int i = 0; i < 10; ++i) {
+    sup.decide(dead);
+    sup.decide(make_context());
+  }
+  EXPECT_EQ(sup.stats().hold_expirations, expirations);
+}
+
+TEST(Supervisor, MaxHoldStepsZeroDisablesEscalation) {
+  ProbeController* probe = nullptr;
+  auto sup = make_single_tier(probe);  // default: max_hold_steps = 0
+  sup.decide(make_context());
+  ControlContext dead = make_context(kNaN, 35.0);
+  for (int i = 0; i < 50; ++i) sup.decide(dead);
+  EXPECT_EQ(sup.stats().hold_expirations, 0u);
+  EXPECT_EQ(sup.last_applied_tier(), 0u);  // tier keeps actuating on holds
+}
+
+// --- FDIR integration ---
+
+TEST(SupervisorFdi, CleanReadingsPassThroughBitExactlyWithFdiEnabled) {
+  ProbeController* probe = nullptr;
+  SupervisorOptions options;
+  options.fdi.enabled = true;
+  auto sup = make_single_tier(probe, options);
+  ASSERT_NE(sup.fdi(), nullptr);
+
+  for (int i = 0; i < 30; ++i) {
+    ControlContext c = make_context(23.5 + 0.001 * i, 36.25);
+    c.soc_percent = 77.125 - 0.001 * i;
+    sup.decide(c);
+    EXPECT_EQ(probe->last_context.cabin_temp_c, c.cabin_temp_c);
+    EXPECT_EQ(probe->last_context.outside_temp_c, c.outside_temp_c);
+    EXPECT_EQ(probe->last_context.soc_percent, c.soc_percent);
+  }
+  EXPECT_EQ(sup.stats().fdi_substituted_steps, 0u);
+  EXPECT_EQ(sup.fdi()->stats().substituted_steps, 0u);
+}
+
+TEST(SupervisorFdi, StuckCabinSensorIsSubstitutedWithVirtualEstimate) {
+  ProbeController* probe = nullptr;
+  SupervisorOptions options;
+  options.fdi.enabled = true;
+  auto sup = make_single_tier(probe, options);
+
+  // Trust-building phase with a plausible cabin temperature.
+  for (int i = 0; i < 20; ++i) sup.decide(make_context(24.0, 35.0));
+
+  // The cabin sensor sticks at 55 °C (finite, inside the sanitation box,
+  // so only model-based FDI can catch it). Default gates isolate after
+  // suspect_after + isolate_after = 5 consecutive exceedances.
+  for (int i = 0; i < 5; ++i) sup.decide(make_context(55.0, 35.0));
+  ASSERT_EQ(sup.fdi()->cabin_health(), fdi::SensorHealth::kIsolated);
+  EXPECT_GT(sup.stats().fdi_substituted_steps, 0u);
+
+  // The controller now sees the live virtual estimate, not the stuck 55.
+  sup.decide(make_context(55.0, 35.0));
+  EXPECT_LT(probe->last_context.cabin_temp_c, 30.0);
+  EXPECT_GT(probe->last_context.cabin_temp_c, 15.0);
+}
+
 // --- PID fallback tier ---
 
 TEST(PidFallback, HeatsColdCabinCoolsHotCabin) {
