@@ -16,6 +16,7 @@
 #include "hvac/hvac_plant.hpp"
 #include "powertrain/power_train.hpp"
 #include "util/table.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -83,6 +84,8 @@ GridResult run_with_storage(const core::EvParams& params,
 }  // namespace
 
 int main() {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   const evc::core::EvParams params;
   const auto profile = evc::drive::make_cycle_profile(
       evc::drive::StandardCycle::kEceEudc, evc::bench::kDefaultAmbientC);

@@ -13,8 +13,11 @@
 #include "hvac/moist_plant.hpp"
 #include "powertrain/power_train.hpp"
 #include "util/table.hpp"
+#include "obs/trace.hpp"
 
 int main() {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   using namespace evc;
   const core::EvParams params;
   const auto profile = drive::make_cycle_profile(

@@ -10,8 +10,11 @@
 
 #include "bench_common.hpp"
 #include "core/simulation.hpp"
+#include "obs/trace.hpp"
 
 int main() {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   using namespace evc;
   const core::EvParams params;
   const auto profile = drive::make_cycle_profile(

@@ -17,6 +17,7 @@
 #include "powertrain/power_train.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -81,6 +82,8 @@ ThermalRun run_thermal(const core::EvParams& params,
 }  // namespace
 
 int main() {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   const evc::core::EvParams params;
   evc::TextTable table({"ambient [C]", "controller", "avg pack T [C]",
                         "dSoH const-T [%/cyc]", "dSoH thermal [%/cyc]",

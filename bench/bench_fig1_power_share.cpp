@@ -15,8 +15,11 @@
 #include "bench_common.hpp"
 #include "core/ice_model.hpp"
 #include "core/simulation.hpp"
+#include "obs/trace.hpp"
 
 int main() {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   using namespace evc;
   const std::vector<double> ambients{-10, 0, 10, 21, 32, 43};
 

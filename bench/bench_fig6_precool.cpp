@@ -13,6 +13,7 @@
 #include "bench_common.hpp"
 #include "core/simulation.hpp"
 #include "util/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -31,6 +32,8 @@ double correlation(const std::vector<double>& a,
 }  // namespace
 
 int main() {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   using namespace evc;
   const core::EvParams params;
   const auto profile = drive::make_cycle_profile(

@@ -6,8 +6,11 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 
 int main() {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   using namespace evc;
   const auto comparisons = bench::run_all_cycles(bench::kDefaultAmbientC);
 

@@ -12,6 +12,7 @@
 #include "optim/qp.hpp"
 #include "optim/sqp.hpp"
 #include "powertrain/power_train.hpp"
+#include "obs/trace.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -165,4 +166,15 @@ BENCHMARK(BM_BatteryPackStep);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the tracer guard brackets the run:
+// EVC_TRACE=trace.json captures qp/sqp/mpc spans from inside the timed
+// loops (the overhead-guard CI job compares this binary with and without
+// the variable set).
+int main(int argc, char** argv) {
+  evc::obs::TraceEnvGuard trace_guard;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,6 +25,7 @@
 #include "sim/fault_injection.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -162,6 +163,8 @@ void write_json(const std::string& path, const drive::DriveProfile& profile,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   const ArgParser args(argc, argv);
   const long steps = args.get_int("steps", 0);
   const std::string out_path = args.get_string("out", "");

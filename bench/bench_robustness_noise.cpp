@@ -20,6 +20,7 @@
 #include "util/random.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -113,6 +114,8 @@ NoisyRun run_noisy(const core::EvParams& params,
 }  // namespace
 
 int main() {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   const evc::core::EvParams params;
   const auto profile = evc::drive::make_cycle_profile(
       evc::drive::StandardCycle::kEceEudc, evc::bench::kDefaultAmbientC);

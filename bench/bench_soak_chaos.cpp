@@ -21,6 +21,11 @@
 //        --campaigns N  number of randomized fault campaigns (default 3)
 //        --seed S       campaign master seed
 //        --out PATH     write the machine-readable JSON artifact
+//        --flight-dump PREFIX  write each chaos run's flight-recorder ring
+//                              to PREFIX_c<i>.json after the campaign
+//
+// EVC_TRACE=trace.json additionally captures a Chrome/Perfetto span trace
+// of the whole soak (qp/sqp/mpc/supervisor/fdi spans from every worker).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -33,6 +38,8 @@
 #include "bench_common.hpp"
 #include "core/metrics_json.hpp"
 #include "core/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_injection.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
@@ -132,7 +139,8 @@ struct RunArtifacts {
 RunArtifacts run_campaign(const core::EvParams& params,
                           const drive::DriveProfile& profile,
                           const Campaign& c, bool chaos, bool fdi_enabled,
-                          const std::string& ckpt_path) {
+                          const std::string& ckpt_path,
+                          const std::string& flight_dump_path = "") {
   std::unique_ptr<ctl::SupervisedController> controller;
   std::unique_ptr<sim::FaultInjector> injector;
   std::unique_ptr<core::SimulationSession> session;
@@ -151,6 +159,7 @@ RunArtifacts run_campaign(const core::EvParams& params,
     core::SimulationOptions sim_options;
     sim_options.record_traces = true;
     sim_options.fault_injector = injector.get();
+    sim_options.flight_dump_path = flight_dump_path;
     session = std::make_unique<core::SimulationSession>(params, *controller,
                                                         profile, sim_options);
   };
@@ -170,6 +179,10 @@ RunArtifacts run_campaign(const core::EvParams& params,
   }
 
   RunArtifacts out;
+  // The black box of the run, dumped unconditionally at the end (on top of
+  // the automatic dump-on-demotion inside the session).
+  if (!flight_dump_path.empty())
+    session->flight_recorder().dump_json(flight_dump_path);
   out.result = session->finish();
   out.supervisor = controller->stats();
   if (const fdi::SensorFdi* f = controller->fdi()) out.fdi = f->stats();
@@ -315,6 +328,16 @@ void write_json(const std::string& path, const drive::DriveProfile& profile,
     json.end_object();
   }
   json.end_array();
+  // Unified-export path: publish the last campaign's stats as gauges, then
+  // embed the whole registry (live mpc.*/supervisor.* counters included).
+  if (!outcomes.empty()) {
+    const CampaignOutcome& last = outcomes.back();
+    core::publish_metrics(last.chaos.result.metrics);
+    core::publish_metrics(last.chaos.supervisor);
+    core::publish_metrics(last.chaos.fdi);
+    core::publish_metrics(last.chaos.faults);
+  }
+  json.key("metrics_registry").raw_value(obs::snapshot().to_json());
   json.end_object();
 
   std::ofstream file(path);
@@ -325,12 +348,15 @@ void write_json(const std::string& path, const drive::DriveProfile& profile,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // EVC_TRACE=trace.json → Chrome/Perfetto trace of the whole soak run.
+  evc::obs::TraceEnvGuard trace_guard;
   const ArgParser args(argc, argv);
   const long steps = args.get_int("steps", 0);
   const long n_campaigns = args.get_int("campaigns", 3);
   const long seed = args.get_int("seed", 20260807);
   const std::string out_path = args.get_string("out", "");
-  args.reject_unknown({"steps", "campaigns", "seed", "out"});
+  const std::string flight_prefix = args.get_string("flight-dump", "");
+  args.reject_unknown({"steps", "campaigns", "seed", "out", "flight-dump"});
 
   const core::EvParams params;
   drive::DriveProfile profile = drive::make_cycle_profile(
@@ -379,8 +405,12 @@ int main(int argc, char** argv) {
         const bool ref_fdi = (i == 0) ? false : c.fdi_enabled;
         o.reference =
             run_campaign(params, profile, c, /*chaos=*/false, ref_fdi, ckpt_ref);
+        const std::string flight_path =
+            flight_prefix.empty()
+                ? std::string()
+                : flight_prefix + "_c" + std::to_string(i) + ".json";
         o.chaos = run_campaign(params, profile, c, /*chaos=*/true,
-                               c.fdi_enabled, ckpt_chaos);
+                               c.fdi_enabled, ckpt_chaos, flight_path);
         o.diff = diff_runs(o.reference, o.chaos);
         o.audit = audit_finiteness(o.chaos.result);
         return o;

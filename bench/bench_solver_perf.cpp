@@ -22,6 +22,7 @@
 #include "optim/sqp.hpp"
 #include "util/json.hpp"
 #include "util/random.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -80,6 +81,9 @@ void write_counters(JsonWriter& json, const opt::QpPerfCounters& c) {
   json.key("warm_starts").value(c.warm_starts);
   json.key("workspace_growths").value(c.workspace_growths);
   json.key("peak_workspace_bytes").value(c.peak_workspace_bytes);
+  json.key("solve_time_ns").value(c.solve_time_ns);
+  json.key("factorize_time_ns").value(c.factorize_time_ns);
+  json.key("timeout_time_ns").value(c.timeout_time_ns);
   json.end_object();
 }
 
@@ -95,6 +99,8 @@ void write_bench_header(JsonWriter& json, const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   std::string out_path = "BENCH_solver.json";
   for (int i = 1; i + 1 < argc; ++i)
     if (std::string(argv[i]) == "--out") out_path = argv[i + 1];

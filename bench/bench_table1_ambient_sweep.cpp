@@ -7,8 +7,11 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 
 int main() {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   using namespace evc;
   const std::vector<double> ambients{43, 35, 32, 21, 10, 0};
 

@@ -14,8 +14,11 @@
 #include "core/experiment.hpp"
 #include "drivecycle/route_synth.hpp"
 #include "util/table.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   using namespace evc;
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
 

@@ -15,6 +15,7 @@
 #include "core/experiment.hpp"
 #include "drivecycle/standard_cycles.hpp"
 #include "util/table.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -66,6 +67,8 @@ class EcoProportionalController : public ctl::ClimateController {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   const std::string cycle_name = argc > 1 ? argv[1] : "ECE_EUDC";
   const double ambient = argc > 2 ? std::atof(argv[2]) : 35.0;
 

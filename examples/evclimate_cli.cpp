@@ -10,8 +10,10 @@
 //                 --ambient 25 --out route.csv
 //
 // Every subcommand prints a table; `simulate`/`synth` can write CSV.
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/experiment.hpp"
@@ -19,6 +21,8 @@
 #include "drivecycle/profile_io.hpp"
 #include "drivecycle/route_synth.hpp"
 #include "drivecycle/standard_cycles.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 #include "util/expect.hpp"
 #include "util/table.hpp"
@@ -39,7 +43,9 @@ int usage(const std::string& program) {
          "  plan     --cycle C --ambient T [--soc S]\n"
          "  synth    [--seed N] [--duration S] [--urban F] [--ambient T]\n"
          "           [--hills P] --out route.csv\n"
-         "cycles: NEDC US06 ECE_EUDC SC03 UDDS\n";
+         "cycles: NEDC US06 ECE_EUDC SC03 UDDS\n"
+         "global: [--trace out.json]   Chrome/Perfetto span trace\n"
+         "        [--metrics out.json] metrics-registry snapshot\n";
   return 2;
 }
 
@@ -75,7 +81,8 @@ TextTable metrics_table() {
 }
 
 int cmd_simulate(const ArgParser& args) {
-  args.reject_unknown({"cycle", "ambient", "controller", "soc", "out"});
+  args.reject_unknown(
+      {"cycle", "ambient", "controller", "soc", "out", "trace", "metrics"});
   const auto cycle = parse_cycle(args.get_string("cycle", "ECE_EUDC"));
   const double ambient = args.get_double("ambient", 35.0);
   const core::EvParams params;
@@ -101,7 +108,7 @@ int cmd_simulate(const ArgParser& args) {
 }
 
 int cmd_compare(const ArgParser& args) {
-  args.reject_unknown({"cycle", "ambient", "soc"});
+  args.reject_unknown({"cycle", "ambient", "soc", "trace", "metrics"});
   const auto cycle = parse_cycle(args.get_string("cycle", "ECE_EUDC"));
   const double ambient = args.get_double("ambient", 35.0);
   core::SimulationOptions opts;
@@ -119,7 +126,7 @@ int cmd_compare(const ArgParser& args) {
 }
 
 int cmd_sweep(const ArgParser& args) {
-  args.reject_unknown({"cycle", "controller", "ambient-from", "ambient-to",
+  args.reject_unknown({"cycle", "controller", "ambient-from", "ambient-to", "trace", "metrics",
                        "ambient-step", "soc"});
   const auto cycle = parse_cycle(args.get_string("cycle", "ECE_EUDC"));
   const double from = args.get_double("ambient-from", 0.0);
@@ -147,7 +154,7 @@ int cmd_sweep(const ArgParser& args) {
 }
 
 int cmd_plan(const ArgParser& args) {
-  args.reject_unknown({"cycle", "ambient", "soc"});
+  args.reject_unknown({"cycle", "ambient", "soc", "trace", "metrics"});
   const auto cycle = parse_cycle(args.get_string("cycle", "ECE_EUDC"));
   const double ambient = args.get_double("ambient", 35.0);
   const double soc = args.get_double("soc", 90.0);
@@ -175,8 +182,8 @@ int cmd_plan(const ArgParser& args) {
 }
 
 int cmd_synth(const ArgParser& args) {
-  args.reject_unknown(
-      {"seed", "duration", "urban", "ambient", "hills", "out"});
+  args.reject_unknown({"seed", "duration", "urban", "ambient", "hills",
+                       "out", "trace", "metrics"});
   drive::RouteSynthOptions opts;
   opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   opts.trip_duration_s = args.get_double("duration", 1800.0);
@@ -206,13 +213,39 @@ int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
     if (args.positional().empty()) return usage(args.program());
+
+    // --trace overrides the EVC_TRACE convention; either way the guard's
+    // destructor writes the Chrome trace after the subcommand finishes.
+    const std::string trace_path = args.get_string("trace", "");
+    std::optional<obs::TraceEnvGuard> trace_guard;
+    if (trace_path.empty())
+      trace_guard.emplace();
+    else
+      trace_guard.emplace(trace_path);
+
     const std::string command = args.positional()[0];
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "compare") return cmd_compare(args);
-    if (command == "sweep") return cmd_sweep(args);
-    if (command == "plan") return cmd_plan(args);
-    if (command == "synth") return cmd_synth(args);
-    return usage(args.program());
+    int rc = 2;
+    if (command == "simulate")
+      rc = cmd_simulate(args);
+    else if (command == "compare")
+      rc = cmd_compare(args);
+    else if (command == "sweep")
+      rc = cmd_sweep(args);
+    else if (command == "plan")
+      rc = cmd_plan(args);
+    else if (command == "synth")
+      rc = cmd_synth(args);
+    else
+      return usage(args.program());
+
+    const std::string metrics_path = args.get_string("metrics", "");
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      out << obs::snapshot().to_json() << "\n";
+      if (!out) throw std::runtime_error("cannot write " + metrics_path);
+      std::cout << "metrics written to " << metrics_path << "\n";
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

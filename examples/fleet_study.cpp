@@ -17,8 +17,11 @@
 #include "drivecycle/traffic.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   using namespace evc;
   const int drivers = argc > 1 ? std::atoi(argv[1]) : 6;
 

@@ -15,8 +15,11 @@
 #include "core/experiment.hpp"
 #include "drivecycle/standard_cycles.hpp"
 #include "util/table.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   using namespace evc;
   const std::string prefix = argc > 1 ? argv[1] : "hot_day";
 

@@ -13,8 +13,11 @@
 #include "control/fuzzy_controller.hpp"
 #include "hvac/multizone.hpp"
 #include "util/table.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   using namespace evc;
   const double ambient = argc > 1 ? std::atof(argv[1]) : 38.0;
 

@@ -12,6 +12,7 @@
 #include "core/experiment.hpp"
 #include "drivecycle/standard_cycles.hpp"
 #include "util/table.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -25,6 +26,8 @@ evc::drive::StandardCycle parse_cycle(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   const auto cycle = parse_cycle(argc > 1 ? argv[1] : "ECE_EUDC");
   const double ambient = argc > 2 ? std::atof(argv[2]) : 35.0;
 

@@ -11,6 +11,7 @@
 #include "core/experiment.hpp"
 #include "drivecycle/standard_cycles.hpp"
 #include "util/table.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -38,6 +39,8 @@ class VentilationOnly : public evc::ctl::ClimateController {
 }  // namespace
 
 int main() {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   using namespace evc;
   const core::EvParams params;
   core::ClimateSimulation sim(params);

@@ -15,8 +15,11 @@
 #include "hvac/defog.hpp"
 #include "hvac/moist_plant.hpp"
 #include "util/table.hpp"
+#include "obs/trace.hpp"
 
 int main() {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
   using namespace evc;
   // Cool, damp morning: mild enough that the fuzzy controller settles at a
   // low blower speed — the regime where recirculated occupant moisture

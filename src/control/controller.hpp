@@ -18,6 +18,10 @@ class BinaryReader;
 class BinaryWriter;
 }  // namespace evc
 
+namespace evc::obs {
+struct FlightRecord;
+}  // namespace evc::obs
+
 namespace evc::ctl {
 
 struct ControlContext {
@@ -65,6 +69,13 @@ class ClimateController {
   /// run bit-for-bit.
   virtual void save_state(BinaryWriter& writer) const { (void)writer; }
   virtual void load_state(BinaryReader& reader) { (void)reader; }
+
+  /// Fill the controller-owned fields of a per-step flight record (tier,
+  /// sensor health, solver effort) after decide(). The default leaves the
+  /// record untouched — reactive controllers have nothing to add.
+  virtual void fill_flight_record(obs::FlightRecord& record) const {
+    (void)record;
+  }
 };
 
 }  // namespace evc::ctl

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 #include "util/serialize.hpp"
 
@@ -174,6 +177,15 @@ hvac::HvacInputs SupervisedController::safe_hold(
 
 hvac::HvacInputs SupervisedController::decide(const ControlContext& context) {
   using Clock = std::chrono::steady_clock;
+  EVC_TRACE_SPAN_VAR(step_span, "supervisor.step");
+  static const struct {
+    obs::MetricsRegistry::Id demotions;
+    obs::MetricsRegistry::Id promotions;
+    obs::MetricsRegistry::Id deadline_misses;
+  } metric_ids{
+      obs::MetricsRegistry::global().counter("supervisor.demotions"),
+      obs::MetricsRegistry::global().counter("supervisor.promotions"),
+      obs::MetricsRegistry::global().counter("supervisor.deadline_misses")};
   ++stats_.steps;
 
   // FDIR first, on the *raw* context: residual detection must see exactly
@@ -215,6 +227,7 @@ hvac::HvacInputs SupervisedController::decide(const ControlContext& context) {
     if (options_.step_deadline_s > 0.0 &&
         elapsed_s > options_.step_deadline_s) {
       ++stats_.deadline_misses;
+      obs::MetricsRegistry::global().add(metric_ids.deadline_misses);
       healthy = false;
     }
     if (tiers_[tier]->last_health().degraded) {
@@ -266,16 +279,21 @@ hvac::HvacInputs SupervisedController::decide(const ControlContext& context) {
   last_applied_tier_ = applied;
   if (applied > current_tier_) {
     stats_.demotions += 1;
+    obs::MetricsRegistry::global().add(metric_ids.demotions);
+    EVC_TRACE_INSTANT("supervisor.demotion");
     current_tier_ = applied;
     healthy_streak_ = 0;
   } else {
     ++healthy_streak_;
     if (current_tier_ > 0 && healthy_streak_ >= options_.promote_after) {
       stats_.promotions += 1;
+      obs::MetricsRegistry::global().add(metric_ids.promotions);
+      EVC_TRACE_INSTANT("supervisor.promotion");
       current_tier_ -= 1;
       healthy_streak_ = 0;
     }
   }
+  step_span.arg("tier", static_cast<double>(applied));
 
   have_safe_output_ = true;
   last_safe_output_ = output;
@@ -376,6 +394,18 @@ void SupervisedController::load_state(BinaryReader& reader) {
   if (reader.read_size() != tiers_.size())
     throw SerializationError("supervisor tier count mismatch");
   for (auto& tier : tiers_) tier->load_state(reader);
+}
+
+void SupervisedController::fill_flight_record(
+    obs::FlightRecord& record) const {
+  record.tier = static_cast<std::uint32_t>(last_applied_tier_);
+  if (fdi_) {
+    record.cabin_health = static_cast<std::uint8_t>(fdi_->cabin_health());
+    record.outside_health = static_cast<std::uint8_t>(fdi_->outside_health());
+    record.soc_health = static_cast<std::uint8_t>(fdi_->soc_health());
+  }
+  if (last_applied_tier_ < tiers_.size())
+    tiers_[last_applied_tier_]->fill_flight_record(record);
 }
 
 PidClimateController::PidClimateController(hvac::HvacParams params)

@@ -114,6 +114,10 @@ class SupervisedController : public ClimateController {
   void save_state(BinaryWriter& writer) const override;
   void load_state(BinaryReader& reader) override;
 
+  /// Flight-recorder hook: applied tier + FDIR health triple, then delegate
+  /// to the tier that actually actuated (for its solver effort fields).
+  void fill_flight_record(obs::FlightRecord& record) const override;
+
  private:
   ControlContext sanitize(const ControlContext& context);
   hvac::HvacInputs safe_hold(const ControlContext& context) const;

@@ -6,149 +6,149 @@ namespace evc::core {
 
 namespace {
 
-void write_metrics(JsonWriter& json, const TripMetrics& m) {
-  json.begin_object();
-  json.key("duration_s").value(m.duration_s);
-  json.key("distance_km").value(m.distance_km);
-  json.key("avg_motor_power_w").value(m.avg_motor_power_w);
-  json.key("avg_hvac_power_w").value(m.avg_hvac_power_w);
-  json.key("avg_total_power_w").value(m.avg_total_power_w);
-  json.key("hvac_energy_j").value(m.hvac_energy_j);
-  json.key("total_energy_j").value(m.total_energy_j);
-  json.key("initial_soc_percent").value(m.initial_soc_percent);
-  json.key("final_soc_percent").value(m.final_soc_percent);
-  json.key("soc_deviation_percent").value(m.stress.soc_deviation);
-  json.key("soc_average_percent").value(m.stress.soc_average);
-  json.key("delta_soh_percent").value(m.delta_soh_percent);
-  json.key("cycles_to_end_of_life").value(m.cycles_to_end_of_life);
-  json.key("consumption_wh_per_km").value(m.consumption_wh_per_km);
-  json.key("estimated_range_km").value(m.estimated_range_km);
-  json.key("comfort");
-  json.begin_object();
-  json.key("fraction_outside").value(m.comfort.fraction_outside);
-  json.key("max_abs_error_c").value(m.comfort.max_abs_error_c);
-  json.key("rms_error_c").value(m.comfort.rms_error_c);
-  json.key("avg_ppd_percent").value(m.comfort.avg_ppd_percent);
-  json.end_object();
-  json.end_object();
+void visit_qp_counters(const opt::QpPerfCounters& c, obs::FieldSink& sink) {
+  sink.field_size("solves", c.solves);
+  sink.field_size("ipm_iterations", c.ipm_iterations);
+  sink.field_size("factorizations", c.factorizations);
+  sink.field_size("schur_solves", c.schur_solves);
+  sink.field_size("schur_regularizations", c.schur_regularizations);
+  sink.field_size("dense_fallbacks", c.dense_fallbacks);
+  sink.field_size("timeouts", c.timeouts);
+  sink.field_size("warm_starts", c.warm_starts);
+  sink.field_size("workspace_growths", c.workspace_growths);
+  sink.field_size("peak_workspace_bytes", c.peak_workspace_bytes);
+  sink.field_u64("solve_time_ns", c.solve_time_ns);
+  sink.field_u64("factorize_time_ns", c.factorize_time_ns);
+  sink.field_u64("timeout_time_ns", c.timeout_time_ns);
+}
+
+void visit_fdi_sensor(const fdi::FdiSensorStats& s, obs::FieldSink& sink) {
+  sink.field_size("steps", s.steps);
+  sink.field_size("gate_exceedances", s.gate_exceedances);
+  sink.field_size("fused_steps", s.fused_steps);
+  sink.field_size("substituted_steps", s.substituted_steps);
+  sink.field_f64("nis_mean",
+                 s.nis_samples > 0
+                     ? s.nis_sum / static_cast<double>(s.nis_samples)
+                     : 0.0);
+  sink.field_f64("nis_max", s.nis_max);
+  sink.field_size("nis_samples", s.nis_samples);
+  sink.field_size("detections", s.health.detections);
+  sink.field_size("false_trips", s.health.false_trips);
+  sink.field_size("isolations", s.health.isolations);
+  sink.field_size("re_trips", s.health.re_trips);
+  sink.field_size("recovery_probes", s.health.recovery_probes);
+  sink.field_size("readmissions", s.health.readmissions);
+}
+
+}  // namespace
+
+void visit_fields(const TripMetrics& m, obs::FieldSink& sink) {
+  sink.field_f64("duration_s", m.duration_s);
+  sink.field_f64("distance_km", m.distance_km);
+  sink.field_f64("avg_motor_power_w", m.avg_motor_power_w);
+  sink.field_f64("avg_hvac_power_w", m.avg_hvac_power_w);
+  sink.field_f64("avg_total_power_w", m.avg_total_power_w);
+  sink.field_f64("hvac_energy_j", m.hvac_energy_j);
+  sink.field_f64("total_energy_j", m.total_energy_j);
+  sink.field_f64("initial_soc_percent", m.initial_soc_percent);
+  sink.field_f64("final_soc_percent", m.final_soc_percent);
+  sink.field_f64("soc_deviation_percent", m.stress.soc_deviation);
+  sink.field_f64("soc_average_percent", m.stress.soc_average);
+  sink.field_f64("delta_soh_percent", m.delta_soh_percent);
+  sink.field_f64("cycles_to_end_of_life", m.cycles_to_end_of_life);
+  sink.field_f64("consumption_wh_per_km", m.consumption_wh_per_km);
+  sink.field_f64("estimated_range_km", m.estimated_range_km);
+  sink.begin_group("comfort");
+  sink.field_f64("fraction_outside", m.comfort.fraction_outside);
+  sink.field_f64("max_abs_error_c", m.comfort.max_abs_error_c);
+  sink.field_f64("rms_error_c", m.comfort.rms_error_c);
+  sink.field_f64("avg_ppd_percent", m.comfort.avg_ppd_percent);
+  sink.end_group();
+}
+
+void visit_fields(const MpcPlanStats& stats, obs::FieldSink& sink) {
+  sink.field_size("plans", stats.plans);
+  sink.field_size("failures", stats.failures);
+  sink.field_size("sqp_iterations", stats.sqp_iterations);
+  sink.field_size("qp_iterations", stats.qp_iterations);
+  sink.field_u64("solve_time_ns", stats.solve_time_ns);
+  sink.field_size("dual_warm_starts", stats.dual_warm_starts);
+  sink.field_size("converged", stats.converged);
+  sink.field_size("max_iteration_exits", stats.max_iteration_exits);
+  sink.field_size("timeouts", stats.timeouts);
+  sink.field_size("numerical_failures", stats.numerical_failures);
+  sink.field_size("rejected_plans", stats.rejected_plans);
+  sink.begin_group("solver");
+  visit_qp_counters(stats.solver, sink);
+  sink.end_group();
+  sink.field_size("workspace_bytes", stats.solver_workspace_bytes);
+}
+
+void visit_fields(const ctl::SupervisorStats& stats, obs::FieldSink& sink) {
+  sink.field_size("steps", stats.steps);
+  sink.field_size("sanitized_steps", stats.sanitized_steps);
+  sink.field_size("sanitized_values", stats.sanitized_values);
+  sink.field_size("deadline_misses", stats.deadline_misses);
+  sink.field_size("health_degradations", stats.health_degradations);
+  sink.field_size("invalid_outputs", stats.invalid_outputs);
+  sink.field_size("output_clamps", stats.output_clamps);
+  sink.field_size("demotions", stats.demotions);
+  sink.field_size("promotions", stats.promotions);
+  sink.field_size("hold_expirations", stats.hold_expirations);
+  sink.field_size("fdi_substituted_steps", stats.fdi_substituted_steps);
+  sink.field_size_array("tier_steps", stats.tier_steps);
+}
+
+void visit_fields(const sim::FaultInjectionStats& stats,
+                  obs::FieldSink& sink) {
+  sink.field_size("steps", stats.steps);
+  sink.field_size("faulted_steps", stats.faulted_steps);
+  sink.field_size("episodes", stats.episodes);
+  sink.field_size("bias_steps", stats.bias_steps);
+  sink.field_size("stuck_steps", stats.stuck_steps);
+  sink.field_size("dropout_steps", stats.dropout_steps);
+  sink.field_size("stale_steps", stats.stale_steps);
+  sink.field_size("spike_steps", stats.spike_steps);
+  sink.field_size("quantization_steps", stats.quantization_steps);
+}
+
+void visit_fields(const fdi::FdiStats& stats, obs::FieldSink& sink) {
+  sink.field_size("steps", stats.steps);
+  sink.field_size("substituted_steps", stats.substituted_steps);
+  sink.begin_group("cabin");
+  visit_fdi_sensor(stats.cabin, sink);
+  sink.end_group();
+  sink.begin_group("outside");
+  visit_fdi_sensor(stats.outside, sink);
+  sink.end_group();
+  sink.begin_group("soc");
+  visit_fdi_sensor(stats.soc, sink);
+  sink.end_group();
+}
+
+namespace {
+
+template <typename Stats>
+std::string render_json(const Stats& stats) {
+  obs::JsonFieldSink sink;
+  visit_fields(stats, sink);
+  return sink.str();
 }
 
 }  // namespace
 
 std::string to_json(const TripMetrics& metrics) {
-  JsonWriter json;
-  write_metrics(json, metrics);
-  return json.str();
+  return render_json(metrics);
 }
-
-std::string to_json(const MpcPlanStats& stats) {
-  JsonWriter json;
-  json.begin_object();
-  json.key("plans").value(stats.plans);
-  json.key("failures").value(stats.failures);
-  json.key("sqp_iterations").value(stats.sqp_iterations);
-  json.key("qp_iterations").value(stats.qp_iterations);
-  json.key("solve_time_ns").value(stats.solve_time_ns);
-  json.key("dual_warm_starts").value(stats.dual_warm_starts);
-  json.key("converged").value(stats.converged);
-  json.key("max_iteration_exits").value(stats.max_iteration_exits);
-  json.key("timeouts").value(stats.timeouts);
-  json.key("numerical_failures").value(stats.numerical_failures);
-  json.key("rejected_plans").value(stats.rejected_plans);
-  json.key("solver");
-  json.begin_object();
-  json.key("solves").value(stats.solver.solves);
-  json.key("ipm_iterations").value(stats.solver.ipm_iterations);
-  json.key("factorizations").value(stats.solver.factorizations);
-  json.key("schur_solves").value(stats.solver.schur_solves);
-  json.key("schur_regularizations").value(stats.solver.schur_regularizations);
-  json.key("dense_fallbacks").value(stats.solver.dense_fallbacks);
-  json.key("timeouts").value(stats.solver.timeouts);
-  json.key("warm_starts").value(stats.solver.warm_starts);
-  json.key("workspace_growths").value(stats.solver.workspace_growths);
-  json.key("peak_workspace_bytes").value(stats.solver.peak_workspace_bytes);
-  json.end_object();
-  json.key("workspace_bytes").value(stats.solver_workspace_bytes);
-  json.end_object();
-  return json.str();
-}
-
+std::string to_json(const MpcPlanStats& stats) { return render_json(stats); }
 std::string to_json(const ctl::SupervisorStats& stats) {
-  JsonWriter json;
-  json.begin_object();
-  json.key("steps").value(stats.steps);
-  json.key("sanitized_steps").value(stats.sanitized_steps);
-  json.key("sanitized_values").value(stats.sanitized_values);
-  json.key("deadline_misses").value(stats.deadline_misses);
-  json.key("health_degradations").value(stats.health_degradations);
-  json.key("invalid_outputs").value(stats.invalid_outputs);
-  json.key("output_clamps").value(stats.output_clamps);
-  json.key("demotions").value(stats.demotions);
-  json.key("promotions").value(stats.promotions);
-  json.key("hold_expirations").value(stats.hold_expirations);
-  json.key("fdi_substituted_steps").value(stats.fdi_substituted_steps);
-  json.key("tier_steps");
-  json.begin_array();
-  for (std::size_t steps : stats.tier_steps) json.value(steps);
-  json.end_array();
-  json.end_object();
-  return json.str();
+  return render_json(stats);
 }
-
 std::string to_json(const sim::FaultInjectionStats& stats) {
-  JsonWriter json;
-  json.begin_object();
-  json.key("steps").value(stats.steps);
-  json.key("faulted_steps").value(stats.faulted_steps);
-  json.key("episodes").value(stats.episodes);
-  json.key("bias_steps").value(stats.bias_steps);
-  json.key("stuck_steps").value(stats.stuck_steps);
-  json.key("dropout_steps").value(stats.dropout_steps);
-  json.key("stale_steps").value(stats.stale_steps);
-  json.key("spike_steps").value(stats.spike_steps);
-  json.key("quantization_steps").value(stats.quantization_steps);
-  json.end_object();
-  return json.str();
+  return render_json(stats);
 }
-
-namespace {
-
-void write_fdi_sensor(JsonWriter& json, const fdi::FdiSensorStats& s) {
-  json.begin_object();
-  json.key("steps").value(s.steps);
-  json.key("gate_exceedances").value(s.gate_exceedances);
-  json.key("fused_steps").value(s.fused_steps);
-  json.key("substituted_steps").value(s.substituted_steps);
-  json.key("nis_mean").value(s.nis_samples > 0
-                                 ? s.nis_sum / static_cast<double>(s.nis_samples)
-                                 : 0.0);
-  json.key("nis_max").value(s.nis_max);
-  json.key("nis_samples").value(s.nis_samples);
-  json.key("detections").value(s.health.detections);
-  json.key("false_trips").value(s.health.false_trips);
-  json.key("isolations").value(s.health.isolations);
-  json.key("re_trips").value(s.health.re_trips);
-  json.key("recovery_probes").value(s.health.recovery_probes);
-  json.key("readmissions").value(s.health.readmissions);
-  json.end_object();
-}
-
-}  // namespace
-
-std::string to_json(const fdi::FdiStats& stats) {
-  JsonWriter json;
-  json.begin_object();
-  json.key("steps").value(stats.steps);
-  json.key("substituted_steps").value(stats.substituted_steps);
-  json.key("cabin");
-  write_fdi_sensor(json, stats.cabin);
-  json.key("outside");
-  write_fdi_sensor(json, stats.outside);
-  json.key("soc");
-  write_fdi_sensor(json, stats.soc);
-  json.end_object();
-  return json.str();
-}
+std::string to_json(const fdi::FdiStats& stats) { return render_json(stats); }
 
 std::string to_json(const std::vector<ControllerRun>& runs) {
   JsonWriter json;
@@ -157,11 +157,39 @@ std::string to_json(const std::vector<ControllerRun>& runs) {
     json.begin_object();
     json.key("controller").value(run.controller);
     json.key("metrics");
-    write_metrics(json, run.metrics);
+    json.raw_value(to_json(run.metrics));
     json.end_object();
   }
   json.end_array();
   return json.str();
+}
+
+namespace {
+
+template <typename Stats>
+void publish(const Stats& stats, const std::string& prefix) {
+  obs::RegistryFieldSink sink(prefix);
+  visit_fields(stats, sink);
+}
+
+}  // namespace
+
+void publish_metrics(const TripMetrics& metrics, const std::string& prefix) {
+  publish(metrics, prefix);
+}
+void publish_metrics(const MpcPlanStats& stats, const std::string& prefix) {
+  publish(stats, prefix);
+}
+void publish_metrics(const ctl::SupervisorStats& stats,
+                     const std::string& prefix) {
+  publish(stats, prefix);
+}
+void publish_metrics(const sim::FaultInjectionStats& stats,
+                     const std::string& prefix) {
+  publish(stats, prefix);
+}
+void publish_metrics(const fdi::FdiStats& stats, const std::string& prefix) {
+  publish(stats, prefix);
 }
 
 }  // namespace evc::core

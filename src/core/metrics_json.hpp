@@ -1,4 +1,12 @@
 // JSON export of experiment results for external tooling.
+//
+// Every stats struct enumerates its fields exactly once through
+// visit_fields(value, obs::FieldSink&); the to_json overloads render that
+// enumeration as JSON (obs::JsonFieldSink) and the publish_metrics
+// overloads publish the same fields as gauges into the process-wide
+// metrics registry (obs::RegistryFieldSink), so obs::snapshot() exports
+// them alongside the live counters/histograms. Adding a field to a struct
+// updates both exporters in one place.
 #pragma once
 
 #include <string>
@@ -8,16 +16,25 @@
 #include "core/experiment.hpp"
 #include "core/metrics.hpp"
 #include "core/mpc_controller.hpp"
+#include "obs/fields.hpp"
 #include "sim/fault_injection.hpp"
 
 namespace evc::core {
 
+/// Field enumerations — one per stats struct, feeding every exporter.
+void visit_fields(const TripMetrics& metrics, obs::FieldSink& sink);
+void visit_fields(const MpcPlanStats& stats, obs::FieldSink& sink);
+void visit_fields(const ctl::SupervisorStats& stats, obs::FieldSink& sink);
+void visit_fields(const sim::FaultInjectionStats& stats,
+                  obs::FieldSink& sink);
+void visit_fields(const fdi::FdiStats& stats, obs::FieldSink& sink);
+
 /// One TripMetrics as a JSON object string.
 std::string to_json(const TripMetrics& metrics);
 
-/// MPC planning/solver telemetry (plans, iterations, solve wall time, QP
-/// workspace counters) as a JSON object string — the machine-readable form
-/// consumed by the perf benches and CI artifacts.
+/// MPC planning/solver telemetry (plans, iterations, solve/factorize wall
+/// time, QP workspace counters) as a JSON object string — the
+/// machine-readable form consumed by the perf benches and CI artifacts.
 std::string to_json(const MpcPlanStats& stats);
 
 /// A controller comparison (e.g. from compare_controllers) as a JSON array
@@ -34,5 +51,22 @@ std::string to_json(const sim::FaultInjectionStats& stats);
 /// FDIR telemetry (per-sensor residual statistics and health-edge
 /// counters) as a JSON object.
 std::string to_json(const fdi::FdiStats& stats);
+
+/// Publish a stats struct into the metrics registry as prefix.field gauges
+/// (e.g. "mpc.stats.plans", "supervisor.stats.tier_steps.0");
+/// obs::snapshot() then carries them in the unified export. The ".stats"
+/// defaults keep the gauges clear of the live counters the controllers
+/// maintain under the bare prefixes ("mpc.plans", "supervisor.demotions") —
+/// a name may hold only one metric kind.
+void publish_metrics(const TripMetrics& metrics,
+                     const std::string& prefix = "trip");
+void publish_metrics(const MpcPlanStats& stats,
+                     const std::string& prefix = "mpc.stats");
+void publish_metrics(const ctl::SupervisorStats& stats,
+                     const std::string& prefix = "supervisor.stats");
+void publish_metrics(const sim::FaultInjectionStats& stats,
+                     const std::string& prefix = "faults");
+void publish_metrics(const fdi::FdiStats& stats,
+                     const std::string& prefix = "fdi.stats");
 
 }  // namespace evc::core

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 #include "util/serialize.hpp"
 
@@ -30,6 +33,8 @@ void MpcClimateController::reset() {
   stats_ = MpcPlanStats{};
   last_plan_status_ = opt::SolveStatus::kConverged;
   last_plan_applied_ = true;
+  last_step_qp_iterations_ = 0;
+  last_step_solve_ns_ = 0;
   solver_.reset_qp_counters();
 }
 
@@ -144,8 +149,24 @@ hvac::HvacInputs MpcClimateController::fallback_inputs(
 hvac::HvacInputs MpcClimateController::decide(
     const ctl::ControlContext& context) {
   // Zero-order hold between planning instants.
-  if (held_input_ && context.time_s + 1e-9 < next_plan_time_s_)
+  if (held_input_ && context.time_s + 1e-9 < next_plan_time_s_) {
+    last_step_qp_iterations_ = 0;
+    last_step_solve_ns_ = 0;
     return *held_input_;
+  }
+
+  EVC_TRACE_SPAN_VAR(plan_span, "mpc.plan");
+  // Registered once; the ids are plain indices afterwards (see
+  // obs::MetricsRegistry), so the per-plan cost is a few relaxed atomics.
+  static const struct {
+    obs::MetricsRegistry::Id plans;
+    obs::MetricsRegistry::Id failures;
+    obs::MetricsRegistry::Id timeouts;
+    obs::MetricsRegistry::Id solve_ns;
+  } metric_ids{obs::MetricsRegistry::global().counter("mpc.plans"),
+               obs::MetricsRegistry::global().counter("mpc.failures"),
+               obs::MetricsRegistry::global().counter("mpc.timeouts"),
+               obs::MetricsRegistry::global().histogram("mpc.plan.solve_ns")};
 
   const MpcWindowData window = make_window(context);
   MpcFormulation formulation(hvac_, battery_, options_.weights, window);
@@ -161,12 +182,18 @@ hvac::HvacInputs MpcClimateController::decide(
   const auto t0 = std::chrono::steady_clock::now();
   const opt::SqpResult result = solver_.solve(formulation, z0, duals);
   const auto t1 = std::chrono::steady_clock::now();
-  stats_.solve_time_ns += static_cast<std::uint64_t>(
+  last_step_solve_ns_ = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  last_step_qp_iterations_ = result.qp_iterations_total;
+  stats_.solve_time_ns += last_step_solve_ns_;
   stats_.sqp_iterations += result.iterations;
   stats_.qp_iterations += result.qp_iterations_total;
   stats_.solver = solver_.qp_counters();
   stats_.solver_workspace_bytes = solver_.workspace_bytes();
+  plan_span.arg("sqp_iterations", static_cast<double>(result.iterations));
+  obs::MetricsRegistry::global().add(metric_ids.plans);
+  obs::MetricsRegistry::global().observe(metric_ids.solve_ns,
+                                         last_step_solve_ns_);
 
   // Branch on the structured solver outcome — a numerical failure is never
   // applied, and a timeout / iteration-capped iterate is applied only if it
@@ -182,6 +209,7 @@ hvac::HvacInputs MpcClimateController::decide(
       break;
     case opt::SolveStatus::kTimeout:
       ++stats_.timeouts;
+      obs::MetricsRegistry::global().add(metric_ids.timeouts);
       break;
     case opt::SolveStatus::kNumericalFailure:
       ++stats_.numerical_failures;
@@ -220,6 +248,7 @@ hvac::HvacInputs MpcClimateController::decide(
       planned_soc_[k] = result.x[idx.soc(k)];
   } else {
     ++stats_.failures;
+    obs::MetricsRegistry::global().add(metric_ids.failures);
     input = fallback_inputs(context);
     last_solution_.reset();  // stale plans make poor warm starts
     last_duals_.y_eq.assign(0, 0.0);
@@ -261,6 +290,9 @@ void save_qp_counters(BinaryWriter& w, const opt::QpPerfCounters& c) {
   w.write_size(c.warm_starts);
   w.write_size(c.workspace_growths);
   w.write_size(c.peak_workspace_bytes);
+  w.write_u64(c.solve_time_ns);
+  w.write_u64(c.factorize_time_ns);
+  w.write_u64(c.timeout_time_ns);
 }
 
 opt::QpPerfCounters load_qp_counters(BinaryReader& r) {
@@ -275,6 +307,9 @@ opt::QpPerfCounters load_qp_counters(BinaryReader& r) {
   c.warm_starts = r.read_size();
   c.workspace_growths = r.read_size();
   c.peak_workspace_bytes = r.read_size();
+  c.solve_time_ns = r.read_u64();
+  c.factorize_time_ns = r.read_u64();
+  c.timeout_time_ns = r.read_u64();
   return c;
 }
 
@@ -292,6 +327,8 @@ void MpcClimateController::save_state(BinaryWriter& writer) const {
   writer.write_f64_vec(planned_soc_);
   writer.write_u8(static_cast<std::uint8_t>(last_plan_status_));
   writer.write_bool(last_plan_applied_);
+  writer.write_u64(last_step_qp_iterations_);
+  writer.write_u64(last_step_solve_ns_);
 
   writer.section("mpc_stats");
   writer.write_size(stats_.plans);
@@ -327,6 +364,8 @@ void MpcClimateController::load_state(BinaryReader& reader) {
   planned_soc_ = reader.read_f64_vec();
   last_plan_status_ = static_cast<opt::SolveStatus>(reader.read_u8());
   last_plan_applied_ = reader.read_bool();
+  last_step_qp_iterations_ = reader.read_u64();
+  last_step_solve_ns_ = reader.read_u64();
 
   reader.expect_section("mpc_stats");
   stats_.plans = reader.read_size();
@@ -346,6 +385,12 @@ void MpcClimateController::load_state(BinaryReader& reader) {
   stats_.solver = load_qp_counters(reader);
   solver_.restore_qp_counters(stats_.solver);
   stats_.solver_workspace_bytes = reader.read_size();
+}
+
+void MpcClimateController::fill_flight_record(
+    obs::FlightRecord& record) const {
+  record.qp_iterations = last_step_qp_iterations_;
+  record.solve_time_ns = last_step_solve_ns_;
 }
 
 }  // namespace evc::core

@@ -108,6 +108,11 @@ class MpcClimateController : public ctl::ClimateController {
   void save_state(BinaryWriter& writer) const override;
   void load_state(BinaryReader& reader) override;
 
+  /// Per-step solver effort for the flight recorder: the QP iterations and
+  /// wall time of the plan computed *this* step (zero on zero-order-hold
+  /// steps, which run no solver).
+  void fill_flight_record(obs::FlightRecord& record) const override;
+
  private:
   MpcWindowData make_window(const ctl::ControlContext& context) const;
   num::Vector warm_start(const MpcFormulation& formulation) const;
@@ -126,6 +131,8 @@ class MpcClimateController : public ctl::ClimateController {
   MpcPlanStats stats_;
   opt::SolveStatus last_plan_status_ = opt::SolveStatus::kConverged;
   bool last_plan_applied_ = true;
+  std::uint64_t last_step_qp_iterations_ = 0;
+  std::uint64_t last_step_solve_ns_ = 0;
 };
 
 }  // namespace evc::core

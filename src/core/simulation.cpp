@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "sim/checkpoint.hpp"
 #include "util/expect.hpp"
 #include "util/serialize.hpp"
@@ -30,7 +31,8 @@ SimulationSession::SimulationSession(const EvParams& params,
     : params_(params), controller_(controller), profile_(profile),
       options_(options),
       ev_(params, options.initial_soc_percent,
-          options.initial_cabin_temp_c.value_or(params.hvac.target_temp_c)) {
+          options.initial_cabin_temp_c.value_or(params.hvac.target_temp_c)),
+      flight_(options.flight_recorder_capacity) {
   EVC_EXPECT(!profile.empty(), "simulation needs a non-empty drive profile");
   EVC_EXPECT(options.initial_soc_percent > 0.0 &&
                  options.initial_soc_percent <= 100.0,
@@ -56,6 +58,8 @@ SimulationSession::SimulationSession(const EvParams& params,
 void SimulationSession::advance() {
   EVC_EXPECT(!done(), "advance() past the end of the drive profile");
   const std::size_t t = step_;
+  obs::Tracer::global().set_sim_time(static_cast<double>(t) * dt_);
+  EVC_TRACE_SPAN("sim.step");
 
   // Algorithm 1 lines 14–15: receding-horizon forecast.
   ctl::ControlContext context;
@@ -98,6 +102,32 @@ void SimulationSession::advance() {
     recorder_.record("fan_w", time, step.hvac.power.fan_w);
     recorder_.record("soc_percent", time, step.soc_percent);
     recorder_.record("speed_mps", time, profile_[t].speed_mps);
+  }
+
+  // Flight recorder: one structured record per control step. The controller
+  // stack fills its own fields (tier, FDI health, solver effort) through
+  // the fill_flight_record() hook; everything else comes from the applied
+  // actuation and the plant's post-step state.
+  obs::FlightRecord rec;
+  rec.time_s = static_cast<double>(t) * dt_;
+  rec.dt_s = dt_;
+  rec.supply_temp_c = inputs.supply_temp_c;
+  rec.coil_temp_c = inputs.coil_temp_c;
+  rec.recirculation = inputs.recirculation;
+  rec.air_flow_kg_s = inputs.air_flow_kg_s;
+  rec.cabin_temp_c = step.hvac.cabin_temp_c;
+  rec.outside_temp_c = profile_[t].ambient_c;
+  rec.soc_percent = step.soc_percent;
+  rec.motor_power_w = step.motor_power_w;
+  rec.hvac_power_w = step.hvac.power.total();
+  controller_.fill_flight_record(rec);
+  flight_.record(rec);
+  if (rec.tier > last_flight_tier_) {
+    // The stack just fell back a tier: dump the black box while the steps
+    // leading up to the demotion are still in the ring.
+    if (!options_.flight_dump_path.empty())
+      flight_.dump_json(options_.flight_dump_path);
+    last_flight_tier_ = rec.tier;
   }
 
   ++step_;
@@ -162,6 +192,8 @@ std::string SimulationSession::checkpoint() const {
   writer.write_bool(options_.fault_injector != nullptr);
   if (options_.fault_injector != nullptr)
     options_.fault_injector->save_state(writer);
+  flight_.save_state(writer);
+  writer.write_u32(last_flight_tier_);
   return sim::Checkpoint::wrap(writer.take()).encode();
 }
 
@@ -186,6 +218,8 @@ void SimulationSession::restore(const std::string& encoded) {
     throw SerializationError("fault injector configuration mismatch");
   if (options_.fault_injector != nullptr)
     options_.fault_injector->load_state(reader);
+  flight_.load_state(reader);
+  last_flight_tier_ = reader.read_u32();
   if (!reader.at_end())
     throw SerializationError("trailing bytes after checkpoint payload");
 }

@@ -15,6 +15,7 @@
 #include "core/ev_model.hpp"
 #include "core/metrics.hpp"
 #include "drivecycle/drive_profile.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/fault_injection.hpp"
 #include "sim/recorder.hpp"
 
@@ -34,6 +35,13 @@ struct SimulationOptions {
   /// sees each step (the plant stays truthful). Not owned; the caller is
   /// responsible for reset() between runs. nullptr = clean sensors.
   sim::FaultInjector* fault_injector = nullptr;
+  /// Bounded ring of per-step flight records (obs::FlightRecorder) kept by
+  /// SimulationSession — the black box read after a crash or demotion.
+  std::size_t flight_recorder_capacity = 4096;
+  /// When non-empty, the flight recorder dumps its JSON here every time the
+  /// supervisor demotes (the recorded tier rises) — the post-mortem for
+  /// "why did the stack fall back".
+  std::string flight_dump_path;
 };
 
 struct SimulationResult {
@@ -114,6 +122,9 @@ class SimulationSession {
   void checkpoint_to_file(const std::string& path) const;
   void restore_from_file(const std::string& path);
 
+  /// The per-step black box (one FlightRecord per advance(), bounded ring).
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+
  private:
   EvParams params_;
   ctl::ClimateController& controller_;
@@ -133,6 +144,9 @@ class SimulationSession {
   std::vector<double> cabin_trace_;
   std::vector<double> hvac_power_trace_;
   sim::StateRecorder recorder_;
+  obs::FlightRecorder flight_;
+  /// Highest tier seen so far; a rise triggers the flight_dump_path dump.
+  std::uint32_t last_flight_tier_ = 0;
 };
 
 }  // namespace evc::core

@@ -1,0 +1,121 @@
+// Field-visitor sinks: one enumeration of a stats struct's fields feeds
+// every exporter.
+//
+// Each telemetry struct (MpcPlanStats, SupervisorStats, FdiStats, ...)
+// gets a single visit_fields(value, FieldSink&) enumeration; the sinks
+// here turn that enumeration into
+//   * a JSON object (JsonFieldSink) — what core::to_json returns, and
+//   * registry gauges (RegistryFieldSink) — "mpc.plans",
+//     "supervisor.demotions", ... visible in obs::snapshot().
+// Adding a field to a struct therefore updates every exporter in one
+// place, instead of the six hand-rolled emitters this replaced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace evc::obs {
+
+class FieldSink {
+ public:
+  virtual ~FieldSink() = default;
+
+  /// Open/close a nested group ("comfort", "solver", per-sensor blocks).
+  virtual void begin_group(const char* name) = 0;
+  virtual void end_group() = 0;
+
+  virtual void field_u64(const char* name, std::uint64_t value) = 0;
+  virtual void field_f64(const char* name, double value) = 0;
+  /// Array of counters (e.g. per-tier step occupancy).
+  virtual void field_size_array(const char* name,
+                                const std::vector<std::size_t>& values) = 0;
+
+  /// std::size_t convenience (travels as u64).
+  void field_size(const char* name, std::size_t value) {
+    field_u64(name, static_cast<std::uint64_t>(value));
+  }
+};
+
+/// Renders the visited fields as one JSON object (nested groups become
+/// nested objects, arrays become JSON arrays). str() closes the root and
+/// returns the document; call it exactly once.
+class JsonFieldSink : public FieldSink {
+ public:
+  JsonFieldSink() { json_.begin_object(); }
+
+  void begin_group(const char* name) override {
+    json_.key(name);
+    json_.begin_object();
+  }
+  void end_group() override { json_.end_object(); }
+  void field_u64(const char* name, std::uint64_t value) override {
+    json_.key(name).value(static_cast<unsigned long long>(value));
+  }
+  void field_f64(const char* name, double value) override {
+    json_.key(name).value(value);
+  }
+  void field_size_array(const char* name,
+                        const std::vector<std::size_t>& values) override {
+    json_.key(name);
+    json_.begin_array();
+    for (std::size_t v : values) json_.value(v);
+    json_.end_array();
+  }
+
+  std::string str() {
+    json_.end_object();
+    return json_.str();
+  }
+
+ private:
+  JsonWriter json_;
+};
+
+/// Publishes the visited fields as gauges named prefix.group.field into a
+/// MetricsRegistry — cumulative stats structs republished wholesale, so
+/// set-semantics (gauge) is the correct idempotent choice. Cold path: each
+/// field resolves its name through the registration mutex.
+class RegistryFieldSink : public FieldSink {
+ public:
+  explicit RegistryFieldSink(std::string prefix,
+                             MetricsRegistry& registry =
+                                 MetricsRegistry::global())
+      : registry_(registry), prefix_(std::move(prefix)) {
+    if (!prefix_.empty() && prefix_.back() != '.') prefix_ += '.';
+  }
+
+  void begin_group(const char* name) override {
+    prefix_ += name;
+    prefix_ += '.';
+  }
+  void end_group() override {
+    // Drop "<group>." — find the previous '.' before the trailing one.
+    prefix_.pop_back();
+    const std::size_t dot = prefix_.rfind('.');
+    prefix_.resize(dot == std::string::npos ? 0 : dot + 1);
+  }
+  void field_u64(const char* name, std::uint64_t value) override {
+    registry_.set(registry_.gauge(prefix_ + name),
+                  static_cast<double>(value));
+  }
+  void field_f64(const char* name, double value) override {
+    registry_.set(registry_.gauge(prefix_ + name), value);
+  }
+  void field_size_array(const char* name,
+                        const std::vector<std::size_t>& values) override {
+    for (std::size_t i = 0; i < values.size(); ++i)
+      registry_.set(
+          registry_.gauge(prefix_ + name + '.' + std::to_string(i)),
+          static_cast<double>(values[i]));
+  }
+
+ private:
+  MetricsRegistry& registry_;
+  std::string prefix_;
+};
+
+}  // namespace evc::obs

@@ -1,0 +1,153 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+#include "util/serialize.hpp"
+
+namespace evc::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(const FlightRecord& rec) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+  } else {
+    ring_[static_cast<std::size_t>(total_ % capacity_)] = rec;
+  }
+  ++total_;
+
+  EVC_TRACE_COUNTER("flight.cabin_temp_c", rec.cabin_temp_c);
+  EVC_TRACE_COUNTER("flight.soc_percent", rec.soc_percent);
+  EVC_TRACE_COUNTER("flight.hvac_power_w", rec.hvac_power_w);
+  EVC_TRACE_COUNTER("flight.tier", static_cast<double>(rec.tier));
+}
+
+std::size_t FlightRecorder::size() const { return ring_.size(); }
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::vector<FlightRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    const std::size_t start = static_cast<std::size_t>(total_ % capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i)
+      out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("evclimate-flight-v1");
+  json.key("capacity").value(capacity_);
+  json.key("total_recorded").value(total_);
+  json.key("records");
+  json.begin_array();
+  for (const FlightRecord& r : snapshot()) {
+    json.begin_object();
+    json.key("time_s").value(r.time_s);
+    json.key("dt_s").value(r.dt_s);
+    json.key("supply_temp_c").value(r.supply_temp_c);
+    json.key("coil_temp_c").value(r.coil_temp_c);
+    json.key("recirculation").value(r.recirculation);
+    json.key("air_flow_kg_s").value(r.air_flow_kg_s);
+    json.key("cabin_temp_c").value(r.cabin_temp_c);
+    json.key("outside_temp_c").value(r.outside_temp_c);
+    json.key("soc_percent").value(r.soc_percent);
+    json.key("motor_power_w").value(r.motor_power_w);
+    json.key("hvac_power_w").value(r.hvac_power_w);
+    json.key("tier").value(r.tier);
+    json.key("cabin_health").value(static_cast<unsigned int>(r.cabin_health));
+    json.key("outside_health")
+        .value(static_cast<unsigned int>(r.outside_health));
+    json.key("soc_health").value(static_cast<unsigned int>(r.soc_health));
+    json.key("qp_iterations").value(r.qp_iterations);
+    json.key("solve_time_ns").value(r.solve_time_ns);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+bool FlightRecorder::dump_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  total_ = 0;
+}
+
+void FlightRecorder::save_state(BinaryWriter& writer) const {
+  writer.section("flight");
+  writer.write_size(capacity_);
+  writer.write_u64(total_);
+  writer.write_size(ring_.size());
+  for (const FlightRecord& r : ring_) {
+    writer.write_f64(r.time_s);
+    writer.write_f64(r.dt_s);
+    writer.write_f64(r.supply_temp_c);
+    writer.write_f64(r.coil_temp_c);
+    writer.write_f64(r.recirculation);
+    writer.write_f64(r.air_flow_kg_s);
+    writer.write_f64(r.cabin_temp_c);
+    writer.write_f64(r.outside_temp_c);
+    writer.write_f64(r.soc_percent);
+    writer.write_f64(r.motor_power_w);
+    writer.write_f64(r.hvac_power_w);
+    writer.write_u32(r.tier);
+    writer.write_u8(r.cabin_health);
+    writer.write_u8(r.outside_health);
+    writer.write_u8(r.soc_health);
+    writer.write_u64(r.qp_iterations);
+    writer.write_u64(r.solve_time_ns);
+  }
+}
+
+void FlightRecorder::load_state(BinaryReader& reader) {
+  reader.expect_section("flight");
+  const std::size_t capacity = reader.read_size();
+  if (capacity != capacity_)
+    throw SerializationError("flight recorder capacity mismatch");
+  total_ = reader.read_u64();
+  const std::size_t held = reader.read_size();
+  if (held > capacity_)
+    throw SerializationError("flight recorder holds more than its capacity");
+  ring_.clear();
+  ring_.reserve(capacity_);
+  for (std::size_t i = 0; i < held; ++i) {
+    FlightRecord r;
+    r.time_s = reader.read_f64();
+    r.dt_s = reader.read_f64();
+    r.supply_temp_c = reader.read_f64();
+    r.coil_temp_c = reader.read_f64();
+    r.recirculation = reader.read_f64();
+    r.air_flow_kg_s = reader.read_f64();
+    r.cabin_temp_c = reader.read_f64();
+    r.outside_temp_c = reader.read_f64();
+    r.soc_percent = reader.read_f64();
+    r.motor_power_w = reader.read_f64();
+    r.hvac_power_w = reader.read_f64();
+    r.tier = reader.read_u32();
+    r.cabin_health = reader.read_u8();
+    r.outside_health = reader.read_u8();
+    r.soc_health = reader.read_u8();
+    r.qp_iterations = reader.read_u64();
+    r.solve_time_ns = reader.read_u64();
+    ring_.push_back(r);
+  }
+}
+
+}  // namespace evc::obs

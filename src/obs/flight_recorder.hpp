@@ -1,0 +1,84 @@
+// Per-step flight recorder: a bounded ring of structured control-step
+// records — the black box of a run.
+//
+// Each control step the simulation session samples one FlightRecord:
+// applied actuation, plant/battery state, the supervisor tier that
+// actuated, the FDI health triple, and the optimizer's per-step cost
+// (QP iterations, solve wall time). The ring keeps the most recent
+// `capacity` steps, serializes into the sim::Checkpoint envelope with the
+// rest of the session (so a resumed run carries its recent history), and
+// is dumped to JSON on supervisor demotion or crash — the few thousand
+// steps leading up to a failure, not a full-trip trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evc {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace evc
+
+namespace evc::obs {
+
+struct FlightRecord {
+  double time_s = 0.0;
+  double dt_s = 0.0;
+  // Applied actuation (what left the controller, post-supervision).
+  double supply_temp_c = 0.0;
+  double coil_temp_c = 0.0;
+  double recirculation = 0.0;
+  double air_flow_kg_s = 0.0;
+  // Plant / battery state after the step.
+  double cabin_temp_c = 0.0;
+  double outside_temp_c = 0.0;
+  double soc_percent = 0.0;
+  double motor_power_w = 0.0;
+  double hvac_power_w = 0.0;
+  // Control stack (filled via ClimateController::fill_flight_record).
+  std::uint32_t tier = 0;           ///< tier that actuated (0 = preferred)
+  std::uint8_t cabin_health = 0;    ///< fdi::SensorHealth as integer
+  std::uint8_t outside_health = 0;
+  std::uint8_t soc_health = 0;
+  std::uint64_t qp_iterations = 0;  ///< this step's plan (0 between plans)
+  std::uint64_t solve_time_ns = 0;  ///< this step's plan (0 between plans)
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  /// Append one record, overwriting the oldest when full. When the span
+  /// tracer is enabled this also emits flight.* counter events so the
+  /// records show up on the Perfetto timeline.
+  void record(const FlightRecord& rec);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Records currently held (≤ capacity).
+  std::size_t size() const;
+  /// Records ever seen (size() + overwritten).
+  std::uint64_t total_recorded() const { return total_; }
+
+  /// Held records, oldest first.
+  std::vector<FlightRecord> snapshot() const;
+
+  /// {"schema":"evclimate-flight-v1","total_recorded":N,"records":[...]}
+  std::string to_json() const;
+  /// Best-effort atomic-ish dump (write + rename not needed: the dump is
+  /// diagnostic, not a checkpoint). Returns false on I/O failure.
+  bool dump_json(const std::string& path) const;
+
+  void clear();
+  void save_state(BinaryWriter& writer) const;
+  /// Throws SerializationError when the serialized capacity differs from
+  /// this recorder's (configuration mismatch).
+  void load_state(BinaryReader& reader);
+
+ private:
+  std::size_t capacity_;
+  std::vector<FlightRecord> ring_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace evc::obs

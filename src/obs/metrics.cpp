@@ -1,0 +1,275 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace evc::obs {
+
+namespace {
+
+/// Stable shard index for the calling thread: handed out round-robin on
+/// first use, so up to kShards writer threads never share a cell.
+std::size_t thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % MetricsRegistry::kShards;
+  return shard;
+}
+
+}  // namespace
+
+MetricsRegistry::~MetricsRegistry() {
+  const std::uint32_t n = registered_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i)
+    delete slots_[i].load(std::memory_order_acquire);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Id MetricsRegistry::register_metric(const std::string& name,
+                                                     MetricKind kind) {
+  std::lock_guard<std::mutex> lock(register_mutex_);
+  const std::uint32_t n = registered_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Metric* m = slots_[i].load(std::memory_order_relaxed);
+    if (m->name == name) {
+      if (m->kind != kind)
+        throw std::invalid_argument("metric '" + name +
+                                    "' re-registered with a different kind");
+      return i;
+    }
+  }
+  if (n >= kMaxMetrics)
+    throw std::length_error("metrics registry full (kMaxMetrics)");
+  auto metric = std::make_unique<Metric>();
+  metric->name = name;
+  metric->kind = kind;
+  if (kind == MetricKind::kHistogram)
+    metric->shards = std::make_unique<HistogramShard[]>(kShards);
+  slots_[n].store(metric.release(), std::memory_order_release);
+  registered_.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+MetricsRegistry::Id MetricsRegistry::counter(const std::string& name) {
+  return register_metric(name, MetricKind::kCounter);
+}
+
+MetricsRegistry::Id MetricsRegistry::gauge(const std::string& name) {
+  return register_metric(name, MetricKind::kGauge);
+}
+
+MetricsRegistry::Id MetricsRegistry::histogram(const std::string& name) {
+  return register_metric(name, MetricKind::kHistogram);
+}
+
+MetricsRegistry::Metric* MetricsRegistry::metric(Id id) const {
+  if (id >= registered_.load(std::memory_order_acquire)) return nullptr;
+  return slots_[id].load(std::memory_order_acquire);
+}
+
+void MetricsRegistry::add(Id id, std::uint64_t delta) {
+  Metric* m = metric(id);
+  if (m == nullptr || m->kind != MetricKind::kCounter) return;
+  m->cells[thread_shard()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(Id id, double value) {
+  Metric* m = metric(id);
+  if (m == nullptr || m->kind != MetricKind::kGauge) return;
+  m->cells[0].value.store(std::bit_cast<std::uint64_t>(value),
+                          std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(Id id, std::uint64_t value) {
+  Metric* m = metric(id);
+  if (m == nullptr || m->kind != MetricKind::kHistogram) return;
+  HistogramShard& shard = m->shards[thread_shard()];
+  shard.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !shard.max.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t MetricsRegistry::bucket_index(std::uint64_t value) {
+  if (value < 16) return static_cast<std::size_t>(value);
+  const std::size_t msb =
+      static_cast<std::size_t>(std::bit_width(value)) - 1;  // ≥ 4
+  const std::size_t sub =
+      static_cast<std::size_t>(value >> (msb - 3)) & 7;     // top 3 bits
+  return 8 + (msb - 3) * 8 + sub;
+}
+
+std::uint64_t MetricsRegistry::bucket_lower_bound(std::size_t index) {
+  if (index < 16) return static_cast<std::uint64_t>(index);
+  const std::size_t octave = (index - 8) / 8;  // msb − 3
+  const std::size_t sub = (index - 8) % 8;
+  return static_cast<std::uint64_t>(8 + sub) << octave;
+}
+
+namespace {
+
+std::uint64_t quantile_from_buckets(
+    const std::array<std::uint64_t, MetricsRegistry::kHistogramBuckets>& b,
+    std::uint64_t count, double q) {
+  if (count == 0) return 0;
+  // 1-based rank of the q-quantile sample.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    seen += b[i];
+    if (seen >= rank) return MetricsRegistry::bucket_lower_bound(i);
+  }
+  return MetricsRegistry::bucket_lower_bound(b.size() - 1);
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::uint32_t n = registered_.load(std::memory_order_acquire);
+  snap.metrics.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Metric* m = slots_[i].load(std::memory_order_acquire);
+    MetricValue out;
+    out.name = m->name;
+    out.kind = m->kind;
+    switch (m->kind) {
+      case MetricKind::kCounter: {
+        std::uint64_t total = 0;
+        for (const Cell& cell : m->cells)
+          total += cell.value.load(std::memory_order_relaxed);
+        out.counter = total;
+        break;
+      }
+      case MetricKind::kGauge:
+        out.gauge = std::bit_cast<double>(
+            m->cells[0].value.load(std::memory_order_relaxed));
+        break;
+      case MetricKind::kHistogram: {
+        std::array<std::uint64_t, kHistogramBuckets> buckets{};
+        HistogramSummary& h = out.histogram;
+        for (std::size_t s = 0; s < kShards; ++s) {
+          const HistogramShard& shard = m->shards[s];
+          for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+            buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+          h.count += shard.count.load(std::memory_order_relaxed);
+          h.sum += shard.sum.load(std::memory_order_relaxed);
+          h.max = std::max(h.max, shard.max.load(std::memory_order_relaxed));
+        }
+        h.p50 = quantile_from_buckets(buckets, h.count, 0.50);
+        h.p90 = quantile_from_buckets(buckets, h.count, 0.90);
+        h.p99 = quantile_from_buckets(buckets, h.count, 0.99);
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(out));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(register_mutex_);
+  const std::uint32_t n = registered_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Metric* m = slots_[i].load(std::memory_order_relaxed);
+    for (Cell& cell : m->cells)
+      cell.value.store(0, std::memory_order_relaxed);
+    if (m->shards != nullptr)
+      for (std::size_t s = 0; s < kShards; ++s) {
+        HistogramShard& shard = m->shards[s];
+        for (auto& bucket : shard.buckets)
+          bucket.store(0, std::memory_order_relaxed);
+        shard.count.store(0, std::memory_order_relaxed);
+        shard.sum.store(0, std::memory_order_relaxed);
+        shard.max.store(0, std::memory_order_relaxed);
+      }
+  }
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("evclimate-metrics-v1");
+  json.key("counters");
+  json.begin_object();
+  for (const MetricValue& m : metrics)
+    if (m.kind == MetricKind::kCounter) json.key(m.name).value(m.counter);
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const MetricValue& m : metrics)
+    if (m.kind == MetricKind::kGauge) json.key(m.name).value(m.gauge);
+  json.end_object();
+  json.key("histograms");
+  json.begin_object();
+  for (const MetricValue& m : metrics) {
+    if (m.kind != MetricKind::kHistogram) continue;
+    json.key(m.name);
+    json.begin_object();
+    json.key("count").value(m.histogram.count);
+    json.key("sum").value(m.histogram.sum);
+    json.key("max").value(m.histogram.max);
+    json.key("p50").value(m.histogram.p50);
+    json.key("p90").value(m.histogram.p90);
+    json.key("p99").value(m.histogram.p99);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::string out = "kind,name,field,value\n";
+  const auto row = [&out](const char* kind, const std::string& name,
+                          const char* field, const std::string& value) {
+    out += kind;
+    out += ',';
+    out += name;
+    out += ',';
+    out += field;
+    out += ',';
+    out += value;
+    out += '\n';
+  };
+  for (const MetricValue& m : metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        row("counter", m.name, "value", std::to_string(m.counter));
+        break;
+      case MetricKind::kGauge: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", m.gauge);
+        row("gauge", m.name, "value", buf);
+        break;
+      }
+      case MetricKind::kHistogram:
+        row("histogram", m.name, "count", std::to_string(m.histogram.count));
+        row("histogram", m.name, "sum", std::to_string(m.histogram.sum));
+        row("histogram", m.name, "max", std::to_string(m.histogram.max));
+        row("histogram", m.name, "p50", std::to_string(m.histogram.p50));
+        row("histogram", m.name, "p90", std::to_string(m.histogram.p90));
+        row("histogram", m.name, "p99", std::to_string(m.histogram.p99));
+        break;
+    }
+  }
+  return out;
+}
+
+MetricsSnapshot snapshot() { return MetricsRegistry::global().snapshot(); }
+
+}  // namespace evc::obs

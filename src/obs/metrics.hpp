@@ -1,0 +1,141 @@
+// Process-wide metrics registry: named counters, gauges, and log-bucketed
+// latency histograms.
+//
+// The control stack runs the same step loop millions of times per bench, so
+// the write path must be cheap enough to leave enabled unconditionally:
+//   * counters and histograms are sharded per thread — each writer thread
+//     is assigned one of kShards cache-line-padded cells on first use and
+//     only ever touches that cell with relaxed atomics, so concurrent
+//     increments never contend on a line;
+//   * histograms bucket values on a log scale (exact buckets below 16, then
+//     8 sub-buckets per octave, ≤ 12.5 % relative width), the classic
+//     HDR-histogram layout: recording is two shifts and a fetch_add, and
+//     p50/p90/p99 are recovered from the bucket counts at snapshot time.
+//
+// Registration (name → id) takes a mutex and is expected at startup /
+// first-use; the id is then a plain index into a fixed slot table, so the
+// hot path never hashes a string. snapshot() folds the shards into one
+// consistent-enough view (relaxed reads; exact once writers are quiescent)
+// and exports the whole registry as JSON or CSV — the single exporter that
+// the per-struct to_json emitters in core/metrics_json delegate to via
+// obs::publish_* field sinks.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace evc::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Snapshot of one histogram: totals plus quantiles recovered from the
+/// bucket counts. Quantiles are the *lower bound* of the bucket holding the
+/// rank — exact for values < 16, otherwise at most 12.5 % below the true
+/// sample.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;  ///< kCounter
+  double gauge = 0.0;         ///< kGauge
+  HistogramSummary histogram; ///< kHistogram
+};
+
+/// Point-in-time view of every registered metric, in registration order
+/// (deterministic for a deterministic program).
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;
+
+  /// {"schema":"evclimate-metrics-v1","counters":{...},"gauges":{...},
+  ///  "histograms":{name:{count,sum,max,p50,p90,p99}}}
+  std::string to_json() const;
+  /// One line per scalar: kind,name,field,value (histograms expand to six
+  /// lines). Header row included.
+  std::string to_csv() const;
+};
+
+class MetricsRegistry {
+ public:
+  using Id = std::uint32_t;
+
+  /// Per-thread shard count for counters/histograms.
+  static constexpr std::size_t kShards = 16;
+  /// Fixed slot-table capacity; registration beyond this throws.
+  static constexpr std::size_t kMaxMetrics = 512;
+  /// Exact buckets [0, 16) then 8 sub-buckets per power of two up to 2^63.
+  static constexpr std::size_t kHistogramBuckets = 8 + 61 * 8;
+
+  MetricsRegistry() = default;
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& global();
+
+  /// Register (or look up) a metric. Re-registering the same name with the
+  /// same kind returns the existing id; a kind clash throws
+  /// std::invalid_argument. Takes a mutex — cache the id, not the name.
+  Id counter(const std::string& name);
+  Id gauge(const std::string& name);
+  Id histogram(const std::string& name);
+
+  /// Hot-path writes: relaxed atomics on this thread's shard, no locks.
+  void add(Id id, std::uint64_t delta = 1);
+  void set(Id id, double value);
+  void observe(Id id, std::uint64_t value);
+
+  MetricsSnapshot snapshot() const;
+  /// Zero every value (registrations survive) — test isolation.
+  void reset();
+
+  /// Bucket index for `value` (exposed for tests): identity below 16, then
+  /// log-bucketed with 8 sub-buckets per octave.
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Smallest value mapping to bucket `index` (the quantile estimate).
+  static std::uint64_t bucket_lower_bound(std::size_t index);
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  struct HistogramShard {
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  struct Metric {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::array<Cell, kShards> cells{};  ///< counters; cell 0 holds gauges
+    std::unique_ptr<HistogramShard[]> shards;  ///< kShards, histograms only
+  };
+
+  Id register_metric(const std::string& name, MetricKind kind);
+  Metric* metric(Id id) const;
+
+  // Slot table: registration publishes the pointer with release so the
+  // lock-free write path can acquire-load it without touching the mutex.
+  std::array<std::atomic<Metric*>, kMaxMetrics> slots_{};
+  std::atomic<std::uint32_t> registered_{0};
+  mutable std::mutex register_mutex_;
+};
+
+/// Snapshot of the process-wide registry — the one exporter behind every
+/// stats emitter.
+MetricsSnapshot snapshot();
+
+}  // namespace evc::obs

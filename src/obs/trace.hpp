@@ -1,0 +1,175 @@
+// Ring-buffer span tracer with a Chrome trace-event (Perfetto) exporter.
+//
+// EVC_TRACE_SPAN("qp.solve") opens an RAII scope whose wall-clock interval
+// is recorded when the scope closes. The hot path is built to disappear:
+//   * runtime-disabled (the default): one relaxed atomic load per scope —
+//     no clock reads, no ring writes, no allocation — so clean runs stay
+//     byte-identical and within noise of an untraced build;
+//   * compile-time disabled (EVCLIMATE_TRACING=OFF → EVC_OBS_NO_TRACING):
+//     the macros expand to nothing at all;
+//   * enabled: two steady_clock reads plus one store into a fixed-size
+//     per-thread ring (kRingCapacity events, oldest overwritten) — no
+//     locks, no allocation after a thread's first event.
+//
+// Every event carries both the wall-clock timestamp (ns since the tracer's
+// epoch) and the simulation time the owning thread last published via
+// set_sim_time(), so a Perfetto timeline can be correlated with the drive
+// cycle. write_chrome_json() drains all thread rings into the Chrome
+// trace-event JSON format (https://ui.perfetto.dev loads it directly).
+//
+// The exporter reads rings that other threads write; call it when writer
+// threads are quiescent (end of main, TraceEnvGuard destructor) — the rings
+// themselves are only ever written by their owning thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace evc::obs {
+
+enum class TraceEventKind : std::uint8_t { kSpan, kInstant, kCounter };
+
+struct TraceEvent {
+  const char* name = nullptr;      ///< static-lifetime string
+  const char* arg_name = nullptr;  ///< optional numeric argument label
+  std::uint64_t start_ns = 0;      ///< since Tracer epoch
+  std::uint64_t dur_ns = 0;        ///< 0 for instants/counters
+  double value = 0.0;              ///< argument or counter value
+  double sim_time_s = 0.0;         ///< NaN when the thread never set it
+  TraceEventKind kind = TraceEventKind::kSpan;
+};
+
+/// Totals across all thread rings (for tests and the exporter footer).
+struct TraceStats {
+  std::size_t recorded = 0;  ///< events currently held in rings
+  std::size_t dropped = 0;   ///< events overwritten by ring wraparound
+  std::size_t threads = 0;   ///< rings ever created
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kRingCapacity = 8192;
+
+  static Tracer& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// No-op (stays disabled) when compiled out via EVC_OBS_NO_TRACING.
+  void set_enabled(bool on);
+
+  /// Nanoseconds since the tracer's construction (steady clock).
+  std::uint64_t now_ns() const;
+
+  /// Publish the simulation time stamped onto this thread's subsequent
+  /// events. Cheap no-op while disabled.
+  void set_sim_time(double time_s);
+
+  void record_span(const char* name, std::uint64_t start_ns,
+                   std::uint64_t dur_ns, const char* arg_name = nullptr,
+                   double arg_value = 0.0);
+  void instant(const char* name, double value = 0.0);
+  void counter(const char* name, double value);
+
+  TraceStats stats() const;
+  /// Drop every recorded event (rings stay registered) — test isolation.
+  void clear();
+
+  /// Chrome trace-event JSON of everything currently recorded. Call with
+  /// writer threads quiescent.
+  void write_chrome_json(std::ostream& out) const;
+  std::string chrome_json() const;
+
+ private:
+  Tracer();
+  struct ThreadRing;
+  ThreadRing& local_ring();
+  void record(TraceEventKind kind, const char* name, std::uint64_t start_ns,
+              std::uint64_t dur_ns, const char* arg_name, double value);
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t epoch_ns_ = 0;  // steady_clock at construction
+
+  struct Impl;
+  Impl* impl_;  // leaked singleton internals (rings outlive exit order)
+};
+
+/// RAII span; see EVC_TRACE_SPAN. Records on destruction when the tracer
+/// was enabled at construction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  /// Attach one numeric argument (last call wins), e.g.
+  /// span.arg("iterations", 12).
+  void arg(const char* name, double value) {
+    arg_name_ = name;
+    arg_value_ = value;
+  }
+
+ private:
+  const char* name_ = nullptr;  ///< nullptr ⇒ tracer was disabled
+  const char* arg_name_ = nullptr;
+  double arg_value_ = 0.0;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// No-op stand-in used when tracing is compiled out.
+struct NullSpan {
+  explicit NullSpan(const char*) {}
+  void arg(const char*, double) {}
+};
+
+/// Process-lifetime guard wiring the EVC_TRACE=path.json convention: the
+/// constructor enables the tracer when EVC_TRACE (or the explicit override)
+/// names a file; the destructor disables it and writes the Chrome trace
+/// there. Instantiate first thing in main(). With tracing compiled out the
+/// guard warns on stderr and stays inactive; with EVC_TRACE unset it does
+/// nothing and writes zero bytes.
+class TraceEnvGuard {
+ public:
+  TraceEnvGuard();
+  explicit TraceEnvGuard(std::string path_override);
+  TraceEnvGuard(const TraceEnvGuard&) = delete;
+  TraceEnvGuard& operator=(const TraceEnvGuard&) = delete;
+  ~TraceEnvGuard();
+
+  bool active() const { return active_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void init(std::string path);
+  std::string path_;
+  bool active_ = false;
+};
+
+}  // namespace evc::obs
+
+#if defined(EVC_OBS_NO_TRACING)
+#define EVC_TRACE_SPAN(name)
+#define EVC_TRACE_SPAN_VAR(var, name) ::evc::obs::NullSpan var(name)
+#define EVC_TRACE_INSTANT(name)
+#define EVC_TRACE_COUNTER(name, value)
+#else
+#define EVC_TRACE_CONCAT_IMPL(a, b) a##b
+#define EVC_TRACE_CONCAT(a, b) EVC_TRACE_CONCAT_IMPL(a, b)
+/// Anonymous RAII span covering the rest of the enclosing scope.
+#define EVC_TRACE_SPAN(name) \
+  ::evc::obs::TraceSpan EVC_TRACE_CONCAT(evc_trace_span_, __LINE__)(name)
+/// Named RAII span, when the scope wants to attach an argument later.
+#define EVC_TRACE_SPAN_VAR(var, name) ::evc::obs::TraceSpan var(name)
+#define EVC_TRACE_INSTANT(name)                                         \
+  do {                                                                  \
+    ::evc::obs::Tracer& evc_trace_t = ::evc::obs::Tracer::global();     \
+    if (evc_trace_t.enabled()) evc_trace_t.instant(name);               \
+  } while (0)
+#define EVC_TRACE_COUNTER(name, value)                                  \
+  do {                                                                  \
+    ::evc::obs::Tracer& evc_trace_t = ::evc::obs::Tracer::global();     \
+    if (evc_trace_t.enabled()) evc_trace_t.counter(name, value);        \
+  } while (0)
+#endif

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "numerics/kernels.hpp"
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 
 namespace evc::opt {
@@ -66,6 +67,9 @@ QpPerfCounters& QpPerfCounters::operator+=(const QpPerfCounters& rhs) {
   workspace_growths += rhs.workspace_growths;
   peak_workspace_bytes = std::max(peak_workspace_bytes,
                                   rhs.peak_workspace_bytes);
+  solve_time_ns += rhs.solve_time_ns;
+  factorize_time_ns += rhs.factorize_time_ns;
+  timeout_time_ns += rhs.timeout_time_ns;
   return *this;
 }
 
@@ -97,6 +101,23 @@ double max_step(const num::Vector& v, const num::Vector& dv, double tau) {
   return alpha;
 }
 
+// Books the wall time of one solve into the workspace counters on every exit
+// path. Timed-out solves are additionally booked under timeout_time_ns so the
+// `timeouts` count has a matching time axis.
+struct SolveTimeGuard {
+  QpPerfCounters& counters;
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  bool timed_out = false;
+
+  ~SolveTimeGuard() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    counters.solve_time_ns += static_cast<std::uint64_t>(ns);
+    if (timed_out) counters.timeout_time_ns += static_cast<std::uint64_t>(ns);
+  }
+};
+
 }  // namespace
 
 QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
@@ -111,8 +132,23 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
   const std::size_t me = problem.num_eq();
   const std::size_t mi = problem.num_ineq();
 
+  using Clock = std::chrono::steady_clock;
   const std::size_t bytes_before = ws.bytes();
   ++ws.counters_.solves;
+  SolveTimeGuard time_guard{ws.counters_};
+  EVC_TRACE_SPAN_VAR(qp_span, "qp.solve");
+
+  // Times one factorization attempt (any path) and books it under
+  // factorize_time_ns; the caller still bumps the per-path counters.
+  const auto timed_factorize = [&ws](auto&& factorize) {
+    EVC_TRACE_SPAN("qp.factorize");
+    const Clock::time_point f0 = Clock::now();
+    const bool ok = factorize();
+    ws.counters_.factorize_time_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - f0)
+            .count());
+    return ok;
+  };
 
   // Symmetrized, regularized Hessian (reused by residuals and assembly).
   ws.h_reg_.copy_from(problem.h);
@@ -200,7 +236,8 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
     // Block elimination first: Cholesky of the regularized Hessian + Schur
     // complement in the multipliers.
     ++ws.counters_.factorizations;
-    if (ws.schur_.factorize(ws.h_reg_, problem.e_mat)) {
+    if (timed_factorize(
+            [&] { return ws.schur_.factorize(ws.h_reg_, problem.e_mat); })) {
       ++ws.counters_.schur_solves;
       if (ws.schur_.regularized()) ++ws.counters_.schur_regularizations;
       ws.rhs1_.resize(n);
@@ -234,7 +271,7 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
     for (int attempt = 0; attempt < 6; ++attempt) {
       ++ws.counters_.factorizations;
       ++ws.counters_.dense_fallbacks;
-      if (ws.lu_.factorize(ws.kkt_)) {
+      if (timed_factorize([&] { return ws.lu_.factorize(ws.kkt_); })) {
         ws.lu_.solve_into(ws.rhs_, ws.sol_);
         for (std::size_t i = 0; i < n; ++i) result.x[i] = ws.sol_[i];
         for (std::size_t i = 0; i < me; ++i) result.y_eq[i] = ws.sol_[n + i];
@@ -256,7 +293,6 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
   }
 
   // ---- Interior point (Mehrotra predictor-corrector) ----
-  using Clock = std::chrono::steady_clock;
   const bool deadline_active = options.time_budget_s > 0.0;
   const Clock::time_point deadline =
       deadline_active
@@ -363,7 +399,8 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
     // not numerically SPD (extreme barrier scaling), fall back to a dense
     // LU of the full KKT matrix, regularizing once more if needed.
     ++ws.counters_.factorizations;
-    bool use_schur = ws.schur_.factorize(ws.k_mat_, problem.e_mat);
+    bool use_schur = timed_factorize(
+        [&] { return ws.schur_.factorize(ws.k_mat_, problem.e_mat); });
     if (use_schur) {
       ++ws.counters_.schur_solves;
       if (ws.schur_.regularized()) ++ws.counters_.schur_regularizations;
@@ -377,12 +414,12 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
           ws.kkt_(c, n + r) = problem.e_mat(r, c);
         }
       ++ws.counters_.dense_fallbacks;
-      if (!ws.lu_.factorize(ws.kkt_)) {
+      if (!timed_factorize([&] { return ws.lu_.factorize(ws.kkt_); })) {
         for (std::size_t i = 0; i < n; ++i) ws.kkt_(i, i) += 1e-8;
         for (std::size_t i = 0; i < me; ++i) ws.kkt_(n + i, n + i) -= 1e-8;
         ++ws.counters_.factorizations;
         ++ws.counters_.dense_fallbacks;
-        if (!ws.lu_.factorize(ws.kkt_)) {
+        if (!timed_factorize([&] { return ws.lu_.factorize(ws.kkt_); })) {
           hard_failure = true;
           break;
         }
@@ -476,6 +513,8 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options,
       result.status =
           timed_out ? QpStatus::kTimeout : QpStatus::kMaxIterations;
   }
+  time_guard.timed_out = result.status == QpStatus::kTimeout;
+  qp_span.arg("iterations", static_cast<double>(result.iterations));
   for (std::size_t i = 0; i < n; ++i) result.x[i] = x[i];
   for (std::size_t i = 0; i < me; ++i) result.y_eq[i] = y[i];
   for (std::size_t i = 0; i < mi; ++i) result.z_ineq[i] = z[i];

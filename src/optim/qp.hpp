@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -109,6 +110,11 @@ struct QpPerfCounters {
   std::size_t warm_starts = 0;         ///< solves seeded from a warm start
   std::size_t workspace_growths = 0;   ///< solves that grew any buffer
   std::size_t peak_workspace_bytes = 0;
+  // Wall-time attribution, so `timeouts` has a matching time axis and the
+  // MPC layer can report where its solve budget actually went.
+  std::uint64_t solve_time_ns = 0;      ///< total wall time inside solve_qp
+  std::uint64_t factorize_time_ns = 0;  ///< wall time inside factorizations
+  std::uint64_t timeout_time_ns = 0;    ///< solve time of timed-out solves
 
   QpPerfCounters& operator+=(const QpPerfCounters& rhs);
 };

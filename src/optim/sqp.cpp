@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "numerics/kernels.hpp"
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 
 namespace evc::opt {
@@ -88,6 +89,7 @@ SqpResult SqpSolver::solve(const NlpProblem& problem, const num::Vector& x0,
   const num::Matrix& a_mat = problem.ineq_matrix();
   const num::Vector& b_vec = problem.ineq_vector();
 
+  EVC_TRACE_SPAN_VAR(sqp_span, "sqp.solve");
   SqpResult result;
   result.x = x0;
   double nu = options_.initial_penalty;
@@ -221,15 +223,18 @@ SqpResult SqpSolver::solve(const NlpProblem& problem, const num::Vector& x0,
     double t = 1.0;
     bool stepped = false;
     MeritEval cand;
-    for (std::size_t ls = 0; ls < options_.max_line_search_steps; ++ls) {
-      num::copy_into(result.x, candidate_);
-      candidate_.add_scaled(t, d);
-      cand = evaluate_merit(problem, a_mat, b_vec, candidate_, ax_);
-      if (cand.phi(nu) <= phi0 + 1e-4 * t * std::min(descent, 0.0)) {
-        stepped = true;
-        break;
+    {
+      EVC_TRACE_SPAN("sqp.line_search");
+      for (std::size_t ls = 0; ls < options_.max_line_search_steps; ++ls) {
+        num::copy_into(result.x, candidate_);
+        candidate_.add_scaled(t, d);
+        cand = evaluate_merit(problem, a_mat, b_vec, candidate_, ax_);
+        if (cand.phi(nu) <= phi0 + 1e-4 * t * std::min(descent, 0.0)) {
+          stepped = true;
+          break;
+        }
+        t *= 0.5;
       }
-      t *= 0.5;
     }
     if (!stepped) {
       // The merit cannot be decreased along this direction. A starved QP
@@ -263,6 +268,7 @@ SqpResult SqpSolver::solve(const NlpProblem& problem, const num::Vector& x0,
     }
   }
 
+  sqp_span.arg("iterations", static_cast<double>(result.iterations));
   result.cost = cur.f;
   result.constraint_violation = cur.viol_inf();
   if (have_duals) {

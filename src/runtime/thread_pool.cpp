@@ -3,7 +3,29 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/trace.hpp"
+
 namespace evc::rt {
+
+// Runs one queued task under a "pool.task" span carrying how long it sat in
+// the queue — the signal that distinguishes a saturated pool from slow
+// tasks. Tracer disabled: a plain call.
+void ThreadPool::run_task(Task& task) {
+#if !defined(EVC_OBS_NO_TRACING)
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    EVC_TRACE_SPAN_VAR(task_span, "pool.task");
+    const std::uint64_t now = tracer.now_ns();
+    task_span.arg("queue_ns",
+                  task.enqueue_ns != 0 && now > task.enqueue_ns
+                      ? static_cast<double>(now - task.enqueue_ns)
+                      : 0.0);
+    task.fn();
+    return;
+  }
+#endif
+  task.fn();
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   workers_.reserve(threads);
@@ -22,19 +44,25 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();
+    Task inline_task{std::move(task), 0};
+    run_task(inline_task);
     return;
   }
+  std::uint64_t enqueue_ns = 0;
+#if !defined(EVC_OBS_NO_TRACING)
+  if (obs::Tracer::global().enabled())
+    enqueue_ns = obs::Tracer::global().now_ns();
+#endif
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), enqueue_ns});
   }
   cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -42,7 +70,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    run_task(task);
   }
 }
 

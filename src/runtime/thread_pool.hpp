@@ -14,6 +14,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -49,10 +50,16 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;  ///< tracer timestamp; 0 while disabled
+  };
+
   void worker_loop();
+  static void run_task(Task& task);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -25,7 +25,8 @@
 namespace evc::sim {
 
 /// Bumped whenever the payload layout changes incompatibly.
-inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+/// v2: flight-recorder ring + per-step solver effort in the MPC section.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
 
 class Checkpoint {
  public:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/serialize.hpp"
 
 namespace evc::fdi {
@@ -60,6 +61,7 @@ void SensorFdi::SensorAccounting::note(const ResidualUpdate& update,
 }
 
 FdiFrame SensorFdi::assess(const ctl::ControlContext& raw) {
+  EVC_TRACE_SPAN("fdi.assess");
   if (!initialized_) {
     initialize_from(raw);
   }
@@ -117,6 +119,7 @@ FdiFrame SensorFdi::assess(const ctl::ControlContext& raw) {
 }
 
 void SensorFdi::commit(const hvac::HvacInputs& applied) {
+  EVC_TRACE_SPAN("fdi.commit");
   if (!initialized_) {
     return;
   }

@@ -1,0 +1,368 @@
+// Unified telemetry layer: metrics registry (sharded counters, gauges,
+// log-bucketed histograms), ring-buffer span tracer, flight recorder, and
+// the guarantee the whole stack leans on — tracing disabled changes
+// nothing about a simulation's results.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/metrics_json.hpp"
+#include "core/simulation.hpp"
+#include "drivecycle/standard_cycles.hpp"
+#include "obs/fields.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/serialize.hpp"
+
+namespace evc {
+namespace {
+
+// --- Metrics registry ---
+
+TEST(Metrics, CounterAccumulatesAcrossThreads) {
+  obs::MetricsRegistry reg;
+  const auto id = reg.counter("test.hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&] {
+      for (int j = 0; j < kPerThread; ++j) reg.add(id);
+    });
+  for (auto& t : threads) t.join();
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_EQ(snap.metrics[0].name, "test.hits");
+  EXPECT_EQ(snap.metrics[0].kind, obs::MetricKind::kCounter);
+  // Sharded relaxed increments must still lose nothing: exactly 80000.
+  EXPECT_EQ(snap.metrics[0].counter,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, GaugeKeepsLastWrite) {
+  obs::MetricsRegistry reg;
+  const auto id = reg.gauge("test.temp");
+  reg.set(id, 1.5);
+  reg.set(id, -3.25);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_EQ(snap.metrics[0].gauge, -3.25);
+}
+
+TEST(Metrics, RegistrationIsIdempotentAndKindClashThrows) {
+  obs::MetricsRegistry reg;
+  const auto a = reg.counter("test.name");
+  const auto b = reg.counter("test.name");
+  EXPECT_EQ(a, b);
+  EXPECT_THROW(reg.gauge("test.name"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("test.name"), std::invalid_argument);
+}
+
+TEST(Metrics, HistogramIsExactBelowSixteen) {
+  obs::MetricsRegistry reg;
+  const auto id = reg.histogram("test.latency");
+  // Values below 16 land in identity buckets — quantiles are exact.
+  // Quantile = the ceil(q·count)-th sample, so with 100 samples p50 is
+  // rank 50 and p99 is rank 99.
+  for (int i = 0; i < 49; ++i) reg.observe(id, 7);
+  for (int i = 0; i < 49; ++i) reg.observe(id, 3);
+  reg.observe(id, 15);
+  reg.observe(id, 15);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  const auto& h = snap.metrics[0].histogram;
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_EQ(h.sum, 49u * 7 + 49u * 3 + 2u * 15);
+  EXPECT_EQ(h.max, 15u);
+  EXPECT_EQ(h.p50, 7u);   // rank 50 of {3×49, 7×49, 15×2}
+  EXPECT_EQ(h.p99, 15u);  // rank 99 lands on the first 15
+}
+
+TEST(Metrics, BucketBoundsAreIdentityBelowSixteenThenWithin12Point5Percent) {
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(obs::MetricsRegistry::bucket_index(v), v);
+    EXPECT_EQ(obs::MetricsRegistry::bucket_lower_bound(v), v);
+  }
+  // Above 16: the lower bound never exceeds the sample and is at most
+  // 12.5 % (one sub-bucket of an 8-way-split octave) below it.
+  std::size_t prev = obs::MetricsRegistry::bucket_index(15);
+  for (std::uint64_t v : {16ull, 17ull, 100ull, 1000ull, 123456ull,
+                          87654321ull, (1ull << 40) + 12345ull,
+                          (1ull << 62) + 99ull}) {
+    const std::size_t idx = obs::MetricsRegistry::bucket_index(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+    const std::uint64_t lb = obs::MetricsRegistry::bucket_lower_bound(idx);
+    EXPECT_LE(lb, v);
+    EXPECT_LE(v - lb, v / 8u) << "value " << v;
+  }
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsRegistrations) {
+  obs::MetricsRegistry reg;
+  const auto c = reg.counter("test.c");
+  const auto g = reg.gauge("test.g");
+  const auto h = reg.histogram("test.h");
+  reg.add(c, 5);
+  reg.set(g, 2.0);
+  reg.observe(h, 42);
+  reg.reset();
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].counter, 0u);
+  EXPECT_EQ(snap.metrics[1].gauge, 0.0);
+  EXPECT_EQ(snap.metrics[2].histogram.count, 0u);
+  EXPECT_EQ(reg.counter("test.c"), c);
+}
+
+TEST(Metrics, SnapshotExportsWellFormedJsonAndCsv) {
+  obs::MetricsRegistry reg;
+  reg.add(reg.counter("test.hits"), 3);
+  reg.set(reg.gauge("test.temp"), 21.5);
+  reg.observe(reg.histogram("test.lat"), 100);
+  const auto snap = reg.snapshot();
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"schema\":\"evclimate-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"test.hits\":3"), std::string::npos);
+  long depth = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+
+  const std::string csv = snap.to_csv();
+  EXPECT_EQ(csv.rfind("kind,name,field,value\n", 0), 0u);
+  EXPECT_NE(csv.find("counter,test.hits,value,3"), std::string::npos);
+  // Histograms expand to six rows: count,sum,max,p50,p90,p99.
+  std::size_t lat_rows = 0, pos = 0;
+  while ((pos = csv.find("histogram,test.lat,", pos)) != std::string::npos) {
+    ++lat_rows;
+    ++pos;
+  }
+  EXPECT_EQ(lat_rows, 6u);
+}
+
+TEST(Metrics, RegistryFieldSinkPublishesNestedGauges) {
+  core::TripMetrics m;
+  m.duration_s = 600.0;
+  m.comfort.rms_error_c = 0.25;
+  core::publish_metrics(m, "test.trip");
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  bool saw_duration = false, saw_comfort = false;
+  for (const auto& metric : snap.metrics) {
+    if (metric.name == "test.trip.duration_s") {
+      saw_duration = true;
+      EXPECT_EQ(metric.kind, obs::MetricKind::kGauge);
+      EXPECT_EQ(metric.gauge, 600.0);
+    }
+    if (metric.name == "test.trip.comfort.rms_error_c") {
+      saw_comfort = true;
+      EXPECT_EQ(metric.gauge, 0.25);
+    }
+  }
+  EXPECT_TRUE(saw_duration);
+  EXPECT_TRUE(saw_comfort);
+}
+
+// --- Span tracer ---
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_enabled(false);
+  tracer.clear();
+  {
+    EVC_TRACE_SPAN("test.noop");
+    EVC_TRACE_INSTANT("test.instant");
+    EVC_TRACE_COUNTER("test.counter", 1.0);
+  }
+  EXPECT_EQ(tracer.stats().recorded, 0u);
+}
+
+#if !defined(EVC_OBS_NO_TRACING)
+TEST(Trace, RingWrapsAroundAndCountsDrops) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  constexpr std::size_t kExtra = 100;
+  const std::uint64_t t0 = tracer.now_ns();
+  for (std::size_t i = 0; i < obs::Tracer::kRingCapacity + kExtra; ++i)
+    tracer.record_span("test.span", t0, 1);
+  const auto stats = tracer.stats();
+  tracer.set_enabled(false);
+  tracer.clear();
+  EXPECT_EQ(stats.recorded, obs::Tracer::kRingCapacity);
+  EXPECT_EQ(stats.dropped, kExtra);
+}
+
+TEST(Trace, ChromeJsonCarriesSpansArgsAndSimTime) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  tracer.set_sim_time(12.5);
+  {
+    EVC_TRACE_SPAN_VAR(span, "test.traced");
+    span.arg("iterations", 7.0);
+  }
+  EVC_TRACE_INSTANT("test.mark");
+  EVC_TRACE_COUNTER("test.level", 3.5);
+  const std::string json = tracer.chrome_json();
+  tracer.set_enabled(false);
+  tracer.clear();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.traced\""), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.mark\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.level\""), std::string::npos);
+  EXPECT_NE(json.find("sim_time"), std::string::npos);
+  long depth = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+#endif  // !EVC_OBS_NO_TRACING
+
+TEST(Trace, EnvGuardWithoutEnvWritesNothing) {
+  const std::string path = "obs_test_should_not_exist.json";
+  std::remove(path.c_str());
+#if defined(_WIN32)
+  _putenv_s("EVC_TRACE", "");
+#else
+  unsetenv("EVC_TRACE");
+#endif
+  {
+    obs::TraceEnvGuard guard;
+    EXPECT_FALSE(guard.active());
+  }
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
+}
+
+// --- Flight recorder ---
+
+obs::FlightRecord make_record(double t) {
+  obs::FlightRecord rec;
+  rec.time_s = t;
+  rec.dt_s = 1.0;
+  rec.cabin_temp_c = 22.0 + t;
+  rec.tier = 1;
+  rec.cabin_health = 2;
+  rec.qp_iterations = 9;
+  rec.solve_time_ns = 1234;
+  return rec;
+}
+
+TEST(FlightRecorder, RingKeepsMostRecentRecords) {
+  obs::FlightRecorder rec(8);
+  for (int i = 0; i < 20; ++i) rec.record(make_record(i));
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.total_recorded(), 20u);
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  // Oldest first: steps 12..19 survive.
+  EXPECT_EQ(snap.front().time_s, 12.0);
+  EXPECT_EQ(snap.back().time_s, 19.0);
+}
+
+TEST(FlightRecorder, JsonDumpHasSchemaAndRecords) {
+  obs::FlightRecorder rec(4);
+  rec.record(make_record(0));
+  rec.record(make_record(1));
+  const std::string json = rec.to_json();
+  EXPECT_NE(json.find("\"schema\":\"evclimate-flight-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total_recorded\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"qp_iterations\":9"), std::string::npos);
+  long depth = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(FlightRecorder, SaveLoadRoundTripsTheRing) {
+  obs::FlightRecorder rec(8);
+  for (int i = 0; i < 20; ++i) rec.record(make_record(i));
+  BinaryWriter w;
+  rec.save_state(w);
+  const std::string bytes = w.take();
+
+  obs::FlightRecorder loaded(8);
+  BinaryReader r(bytes);
+  loaded.load_state(r);
+  EXPECT_EQ(loaded.total_recorded(), rec.total_recorded());
+  const auto a = rec.snapshot();
+  const auto b = loaded.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time_s, b[i].time_s);
+    EXPECT_EQ(a[i].cabin_temp_c, b[i].cabin_temp_c);
+    EXPECT_EQ(a[i].tier, b[i].tier);
+    EXPECT_EQ(a[i].cabin_health, b[i].cabin_health);
+    EXPECT_EQ(a[i].qp_iterations, b[i].qp_iterations);
+    EXPECT_EQ(a[i].solve_time_ns, b[i].solve_time_ns);
+  }
+
+  // A recorder configured with a different capacity must refuse the state.
+  obs::FlightRecorder mismatched(16);
+  BinaryReader r2(bytes);
+  EXPECT_THROW(mismatched.load_state(r2), SerializationError);
+}
+
+// --- The cross-cutting guarantee: tracing never changes results ---
+
+core::SimulationResult run_short_sim() {
+  const core::EvParams params;
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kUdds, 32.0)
+          .window(0, 90);
+  auto controller = core::make_mpc_controller(params);
+  core::SimulationOptions opts;
+  opts.record_traces = true;
+  opts.flight_recorder_capacity = 64;
+  core::SimulationSession session(params, *controller, profile, opts);
+  session.run_to_completion();
+  // Flight records flow every step even in a clean run.
+  EXPECT_EQ(session.flight_recorder().total_recorded(), 90u);
+  return session.finish();
+}
+
+TEST(Trace, EnablingTracerLeavesSimulationByteIdentical) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_enabled(false);
+  tracer.clear();
+  const auto baseline = run_short_sim();
+  const std::size_t recorded_off = tracer.stats().recorded;
+  EXPECT_EQ(recorded_off, 0u);  // disabled tracer: zero bytes recorded
+
+  tracer.set_enabled(true);
+  const auto traced = run_short_sim();
+  tracer.set_enabled(false);
+#if !defined(EVC_OBS_NO_TRACING)
+  EXPECT_GT(tracer.stats().recorded, 0u);  // spans actually flowed
+#endif
+  tracer.clear();
+
+  // The trip metrics are pure physics/control outputs — any byte of
+  // difference means tracing perturbed a control decision.
+  EXPECT_EQ(core::to_json(baseline.metrics), core::to_json(traced.metrics));
+}
+
+}  // namespace
+}  // namespace evc

@@ -49,7 +49,11 @@ TEST(QpDegenerate, ActiveConstraintExactlyAtOptimum) {
   p.b_vec = Vector{1.0};  // x ≤ 1, active with zero multiplier
   const QpResult r = solve_qp(p);
   ASSERT_EQ(r.status, QpStatus::kSolved);
-  EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+  // 1e-4, not the solver's 1e-8 duality tolerance: on a weakly active
+  // constraint (zero multiplier) the central path satisfies s·z ≈ tol with
+  // both s and z free, so the primal gap is O(√tol) ≈ 1e-4 — an interior-
+  // point property, not a bug (see docs/SEED_FAILURES.md).
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
   EXPECT_LT(r.z_ineq[0], 1e-3);
 }
 
@@ -170,6 +174,13 @@ TEST_P(SqpCircle, ConvergesFromRingOfStarts) {
   const SqpSolver solver(opts);
   const SqpResult r = solver.solve(problem, x0);
   ASSERT_TRUE(r.usable()) << "angle " << angle;
+  // KNOWN SEED FAILURE for most angles (see docs/SEED_FAILURES.md): the
+  // ℓ1 merit line search stalls at ~1e-2 violation on this curved equality
+  // manifold — the Maratos effect (full SQP steps increase the merit even
+  // arbitrarily close to the optimum, so the step collapses and progress
+  // stops). Fixing it needs a second-order correction or a watchdog step
+  // in SqpSolver, not a tolerance change; the bound is kept strict so the
+  // failure stays visible until then.
   EXPECT_LT(r.constraint_violation, 1e-5) << "angle " << angle;
   // Global optimum (1,0) has cost 1; local max (−1,0) has cost 9. Accept
   // the global basin only for starts in the right half-ring.

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""CI gates for the EVC_TRACE telemetry pipeline. Stdlib only.
+
+Subcommands:
+
+  validate TRACE.json --schema tools/trace_schema.json \
+      [--require-span NAME ...] [--require-counter NAME ...]
+    Structural check of a Chrome trace-event file against the checked-in
+    schema (required top-level keys; per-ph required fields and types), plus
+    presence checks for the span/counter names the control stack is
+    supposed to emit. Exit 1 with a per-problem report on any violation.
+
+  overhead OFF.json ON.json [--max-regression 0.03]
+    Compare two google-benchmark JSON reports (same benchmark, run with the
+    tracer disabled vs enabled) and fail when the median real_time regresses
+    by more than --max-regression (fractional). Uses the `median` aggregate
+    when repetitions produced one, the sole run otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+TYPE_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "object": lambda v: isinstance(v, dict),
+}
+
+
+def cmd_validate(args):
+    with open(args.schema) as f:
+        schema = json.load(f)
+    with open(args.trace) as f:
+        trace = json.load(f)
+
+    problems = []
+    for key in schema["required_top_level"]:
+        if key not in trace:
+            problems.append(f"missing top-level key '{key}'")
+    unit = schema.get("display_time_unit")
+    if unit and trace.get("displayTimeUnit") != unit:
+        problems.append(
+            f"displayTimeUnit is {trace.get('displayTimeUnit')!r}, "
+            f"expected {unit!r}")
+
+    events = trace.get("traceEvents", [])
+    if not events:
+        problems.append("traceEvents is empty — the tracer recorded nothing")
+
+    kinds = schema["event_kinds"]
+    seen_spans, seen_counters = set(), set()
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        spec = kinds.get(ph)
+        if spec is None:
+            problems.append(f"event {i}: unknown ph {ph!r}")
+            continue
+        for field in spec["required"]:
+            if field not in ev:
+                problems.append(
+                    f"event {i} ({ph} {ev.get('name')!r}): missing '{field}'")
+        for field, expected in spec["types"].items():
+            if field in ev and not TYPE_CHECKS[expected](ev[field]):
+                problems.append(
+                    f"event {i} ({ph} {ev.get('name')!r}): '{field}' is "
+                    f"{type(ev[field]).__name__}, expected {expected}")
+        if ph == "X":
+            seen_spans.add(ev.get("name"))
+        elif ph == "C":
+            seen_counters.add(ev.get("name"))
+        if len(problems) > 50:
+            problems.append("... (truncated)")
+            break
+
+    for name in args.require_span:
+        if name not in seen_spans:
+            problems.append(f"required span '{name}' never recorded "
+                            f"(spans present: {sorted(seen_spans)})")
+    for name in args.require_counter:
+        if name not in seen_counters:
+            problems.append(f"required counter '{name}' never recorded "
+                            f"(counters present: {sorted(seen_counters)})")
+
+    if problems:
+        print(f"FAIL: {args.trace}: {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(f"OK: {args.trace}: {len(events)} events, "
+          f"{len(seen_spans)} span names, {len(seen_counters)} counter names")
+    return 0
+
+
+def median_real_times(path):
+    """benchmark name -> median real_time from a google-benchmark report."""
+    with open(path) as f:
+        report = json.load(f)
+    medians, singles = {}, {}
+    for b in report.get("benchmarks", []):
+        if b.get("aggregate_name") == "median":
+            medians[b["run_name"]] = b["real_time"]
+        elif b.get("run_type", "iteration") == "iteration":
+            singles[b.get("run_name", b["name"])] = b["real_time"]
+    return medians or singles
+
+
+def cmd_overhead(args):
+    off = median_real_times(args.off)
+    on = median_real_times(args.on)
+    common = sorted(set(off) & set(on))
+    if not common:
+        print(f"FAIL: no common benchmarks between {args.off} and {args.on}")
+        return 1
+    worst = 0.0
+    failed = False
+    for name in common:
+        regression = (on[name] - off[name]) / off[name]
+        worst = max(worst, regression)
+        status = "ok"
+        if regression > args.max_regression:
+            status = "FAIL"
+            failed = True
+        print(f"  {name}: off={off[name]:.1f} on={on[name]:.1f} "
+              f"({regression:+.2%}) {status}")
+    limit = f"{args.max_regression:.0%}"
+    if failed:
+        print(f"FAIL: tracer-on overhead exceeds {limit} "
+              f"(worst {worst:+.2%})")
+        return 1
+    print(f"OK: worst tracer-on overhead {worst:+.2%} within {limit}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    v = sub.add_parser("validate", help="validate a Chrome trace file")
+    v.add_argument("trace")
+    v.add_argument("--schema", required=True)
+    v.add_argument("--require-span", action="append", default=[])
+    v.add_argument("--require-counter", action="append", default=[])
+    v.set_defaults(func=cmd_validate)
+
+    o = sub.add_parser("overhead", help="compare tracer-off vs tracer-on")
+    o.add_argument("off")
+    o.add_argument("on")
+    o.add_argument("--max-regression", type=float, default=0.03)
+    o.set_defaults(func=cmd_overhead)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
