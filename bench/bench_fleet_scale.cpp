@@ -1,0 +1,105 @@
+// Fleet-scale throughput envelope — machine-readable.
+//
+// Runs the batched fleet engine (rt::FleetEngine) at increasing fleet
+// sizes over a shared UDDS drive cycle and emits, per size, the vehicles/s
+// throughput and exact p50/p99/max per-step latency as JSON
+// (BENCH_fleet.json in CI):
+//   { "schema": "evclimate-fleet-bench-v1", "threads": T,
+//     "benches": [ {"name","vehicles","steps_per_vehicle","total_steps",
+//                   "wall_ns","vehicles_per_sec",
+//                   "step_p50_ns","step_p99_ns","step_max_ns"}, ... ] }
+//
+// Steps per vehicle shrink as the fleet grows (the bench axis is batching
+// overhead and scheduling, not trip length), and a short MPC horizon keeps
+// a full sweep in CI budget. Same controller and plant stack as the paper
+// benches — only the window is smaller.
+//
+// Usage: bench_fleet_scale [--out PATH] [--max-vehicles N] [--steps S]
+//   --max-vehicles caps the sweep (default 8192)
+//   --steps overrides the per-size step schedule with a fixed count
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "drivecycle/standard_cycles.hpp"
+#include "obs/trace.hpp"
+#include "runtime/fleet.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  // EVC_TRACE=trace.json dumps a Chrome/Perfetto trace of this run.
+  evc::obs::TraceEnvGuard trace_guard;
+  using namespace evc;
+
+  std::string out_path = "BENCH_fleet.json";
+  std::size_t max_vehicles = 8192;
+  std::size_t steps_override = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") out_path = argv[i + 1];
+    if (arg == "--max-vehicles")
+      max_vehicles = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    if (arg == "--steps")
+      steps_override = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+  }
+
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kUdds, 35.0);
+  const core::EvParams params;
+  rt::ThreadPool& pool = rt::ThreadPool::global();
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("evclimate-fleet-bench-v1");
+  json.key("threads").value(pool.size() + 1);
+  json.key("benches");
+  json.begin_array();
+
+  for (const std::size_t n : {std::size_t{1}, std::size_t{64},
+                              std::size_t{1024}, std::size_t{8192}}) {
+    if (n > max_vehicles) continue;
+    rt::FleetOptions opts;
+    opts.vehicles = n;
+    // Measurement-stable step counts: long trips for tiny fleets, short
+    // ones once the vehicle count itself provides the sample mass.
+    opts.max_steps_per_vehicle =
+        steps_override != 0
+            ? steps_override
+            : std::max<std::size_t>(8, std::min<std::size_t>(256, 4096 / n));
+    // Small window: the axis here is batching, not solver depth.
+    opts.mpc.horizon = 6;
+    rt::FleetEngine engine(params, profile, opts);
+    const rt::FleetSummary summary = engine.run(pool);
+
+    json.begin_object();
+    json.key("name").value("fleet_n" + std::to_string(n));
+    json.key("vehicles").value(n);
+    json.key("steps_per_vehicle").value(opts.max_steps_per_vehicle);
+    json.key("total_steps").value(summary.total_steps);
+    json.key("wall_ns").value(summary.wall_ns);
+    json.key("vehicles_per_sec").value(summary.vehicles_per_second);
+    json.key("step_p50_ns").value(summary.step_p50_ns);
+    json.key("step_p99_ns").value(summary.step_p99_ns);
+    json.key("step_max_ns").value(summary.step_max_ns);
+    json.end_object();
+    std::cerr << "  fleet_n" << n << ": "
+              << summary.vehicles_per_second << " vehicles/s, p99 step "
+              << summary.step_p99_ns / 1000 << " us\n";
+  }
+
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out(out_path);
+  out << json.str() << "\n";
+  if (!out) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}

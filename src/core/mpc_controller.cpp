@@ -318,9 +318,10 @@ opt::QpPerfCounters load_qp_counters(BinaryReader& r) {
 void MpcClimateController::save_state(BinaryWriter& writer) const {
   writer.section("mpc");
   writer.write_bool(last_solution_.has_value());
-  if (last_solution_) writer.write_f64_vec(last_solution_->data());
-  writer.write_f64_vec(last_duals_.y_eq.data());
-  writer.write_f64_vec(last_duals_.z_ineq.data());
+  if (last_solution_)
+    writer.write_f64_seq(last_solution_->ptr(), last_solution_->size());
+  writer.write_f64_seq(last_duals_.y_eq.ptr(), last_duals_.y_eq.size());
+  writer.write_f64_seq(last_duals_.z_ineq.ptr(), last_duals_.z_ineq.size());
   writer.write_bool(held_input_.has_value());
   if (held_input_) save_hvac_inputs(writer, *held_input_);
   writer.write_f64(next_plan_time_s_);

@@ -1,5 +1,6 @@
 #include "numerics/kernels.hpp"
 
+#include "numerics/simd.hpp"
 #include "util/expect.hpp"
 
 namespace evc::num {
@@ -16,6 +17,10 @@ void gemv(double alpha, const Matrix& a, const Vector& x, double beta,
   }
   if (alpha == 0.0) return;
   const std::size_t rows = a.rows(), cols = a.cols();
+  if (simd::dispatch_enabled()) {
+    simd::active().gemv(alpha, a.ptr(), cols, rows, cols, x.ptr(), y.ptr());
+    return;
+  }
   for (std::size_t i = 0; i < rows; ++i) {
     double acc = 0.0;
     for (std::size_t j = 0; j < cols; ++j) acc += a(i, j) * x[j];
@@ -35,6 +40,10 @@ void gemv_t(double alpha, const Matrix& a, const Vector& x, double beta,
   }
   if (alpha == 0.0) return;
   const std::size_t rows = a.rows(), cols = a.cols();
+  if (simd::dispatch_enabled()) {
+    simd::active().gemv_t(alpha, a.ptr(), cols, rows, cols, x.ptr(), y.ptr());
+    return;
+  }
   // Row-major: run along rows of A so the inner loop is contiguous.
   for (std::size_t i = 0; i < rows; ++i) {
     const double xi = alpha * x[i];
@@ -56,6 +65,11 @@ void gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
   }
   if (alpha == 0.0) return;
   const std::size_t rows = a.rows(), inner = a.cols(), cols = b.cols();
+  if (simd::dispatch_enabled()) {
+    simd::active().gemm(alpha, a.ptr(), inner, b.ptr(), cols, c.ptr(), cols,
+                        rows, inner, cols);
+    return;
+  }
   for (std::size_t i = 0; i < rows; ++i) {
     for (std::size_t k = 0; k < inner; ++k) {
       const double aik = alpha * a(i, k);
@@ -65,7 +79,21 @@ void gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
   }
 }
 
-void axpy(double alpha, const Vector& x, Vector& y) { y.add_scaled(alpha, x); }
+void axpy(double alpha, const Vector& x, Vector& y) {
+  if (simd::dispatch_enabled()) {
+    EVC_EXPECT(x.size() == y.size(), "axpy dimension mismatch");
+    simd::active().axpy(alpha, x.ptr(), y.ptr(), y.size());
+    return;
+  }
+  y.add_scaled(alpha, x);
+}
+
+double dot(const Vector& x, const Vector& y) {
+  EVC_EXPECT(x.size() == y.size(), "dot dimension mismatch");
+  if (simd::dispatch_enabled())
+    return simd::active().dot(x.ptr(), y.ptr(), x.size());
+  return x.dot(y);
+}
 
 void copy_into(const Vector& src, Vector& dst) {
   dst.data().assign(src.data().begin(), src.data().end());

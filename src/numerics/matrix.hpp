@@ -1,9 +1,11 @@
 // Dense row-major real matrix for the embedded optimization stack.
+// Storage is 64-byte aligned (numerics/aligned.hpp) for the SIMD kernels.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "numerics/aligned.hpp"
 #include "numerics/vector.hpp"
 
 namespace evc::num {
@@ -36,6 +38,12 @@ class Matrix {
   double operator()(std::size_t r, std::size_t c) const {
     return data_[r * cols_ + c];
   }
+  /// Raw 64-byte-aligned element pointer (row-major, leading dim = cols()).
+  double* ptr() { return data_.data(); }
+  const double* ptr() const { return data_.data(); }
+  /// Pointer to the first element of row `r`.
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
   /// Bounds-checked access.
   double& at(std::size_t r, std::size_t c);
   double at(std::size_t r, std::size_t c) const;
@@ -67,7 +75,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  AlignedBuffer data_;
 };
 
 }  // namespace evc::num

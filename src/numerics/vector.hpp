@@ -2,12 +2,15 @@
 //
 // Sized for MPC-scale problems (tens to a few hundred unknowns); all storage
 // is contiguous doubles, all operations are O(n) loops — no expression
-// templates, no aliasing surprises.
+// templates, no aliasing surprises. The backing store is 64-byte aligned
+// (numerics/aligned.hpp) so the SIMD kernels' loads start on a cache line.
 #pragma once
 
 #include <cstddef>
 #include <initializer_list>
 #include <vector>
+
+#include "numerics/aligned.hpp"
 
 namespace evc::num {
 
@@ -15,8 +18,11 @@ class Vector {
  public:
   Vector() = default;
   explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
-  Vector(std::initializer_list<double> init) : data_(init) {}
-  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+  Vector(std::initializer_list<double> init)
+      : data_(init.begin(), init.end()) {}
+  /// Copies into aligned storage (the source allocator differs).
+  explicit Vector(const std::vector<double>& data)
+      : data_(data.begin(), data.end()) {}
 
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
@@ -34,8 +40,11 @@ class Vector {
   double& at(std::size_t i);
   double at(std::size_t i) const;
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  const AlignedBuffer& data() const { return data_; }
+  AlignedBuffer& data() { return data_; }
+  /// Raw 64-byte-aligned element pointer (kernel entry points).
+  double* ptr() { return data_.data(); }
+  const double* ptr() const { return data_.data(); }
 
   Vector& operator+=(const Vector& rhs);
   Vector& operator-=(const Vector& rhs);
@@ -62,7 +71,7 @@ class Vector {
   friend Vector operator-(Vector v) { return v *= -1.0; }
 
  private:
-  std::vector<double> data_;
+  AlignedBuffer data_;
 };
 
 }  // namespace evc::num

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "numerics/aligned.hpp"
 #include "numerics/factorization.hpp"
 #include "numerics/matrix.hpp"
 #include "numerics/schur_kkt.hpp"
@@ -148,7 +149,7 @@ class QpWorkspace {
   // Compressed-sparse-row view of the inequality matrix A.
   std::vector<std::size_t> a_row_ptr_;
   std::vector<std::size_t> a_col_;
-  std::vector<double> a_val_;
+  num::AlignedBuffer a_val_;
 
   num::Matrix h_reg_;  ///< symmetrized + regularized Hessian
   num::Matrix k_mat_;  ///< H + AᵀDA (barrier-augmented Hessian)

@@ -80,6 +80,38 @@ MeritEval evaluate_merit(const NlpProblem& problem, const num::Matrix& a_mat,
   return m;
 }
 
+// Least-norm feasibility restoration for the second-order correction:
+// solve J·Jᵀ·λ = −c and set p = Jᵀ·λ, the minimum-norm step with
+// J·p = −c. Returns false when J·Jᵀ is numerically singular (redundant or
+// rank-deficient linearization) or the correction is non-finite — the
+// caller then falls back to plain backtracking. Sizes here are the
+// equality count (≲ 100 for the MPC), and the path only runs when a full
+// step was rejected, so dense formation of J·Jᵀ is cheap; all buffers are
+// caller-owned and reused across corrections.
+bool solve_least_norm_restoration(const num::Matrix& j, const num::Vector& c,
+                                  num::Matrix& jjt, num::LuFactorization& lu,
+                                  num::Vector& rhs, num::Vector& lambda,
+                                  num::Vector& p) {
+  const std::size_t me = j.rows(), n = j.cols();
+  jjt.resize(me, me);
+  for (std::size_t i = 0; i < me; ++i) {
+    for (std::size_t k = i; k < me; ++k) {
+      double acc = 0.0;
+      for (std::size_t col = 0; col < n; ++col) acc += j(i, col) * j(k, col);
+      jjt(i, k) = acc;
+      jjt(k, i) = acc;
+    }
+  }
+  if (!lu.factorize(jjt)) return false;
+  rhs.resize(me);
+  for (std::size_t i = 0; i < me; ++i) rhs[i] = -c[i];
+  lu.solve_into(rhs, lambda);
+  num::gemv_t(1.0, j, lambda, 0.0, p);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    if (!std::isfinite(p[i])) return false;
+  return true;
+}
+
 }  // namespace
 
 SqpResult SqpSolver::solve(const NlpProblem& problem, const num::Vector& x0,
@@ -229,7 +261,37 @@ SqpResult SqpSolver::solve(const NlpProblem& problem, const num::Vector& x0,
         num::copy_into(result.x, candidate_);
         candidate_.add_scaled(t, d);
         cand = evaluate_merit(problem, a_mat, b_vec, candidate_, ax_);
-        if (cand.phi(nu) <= phi0 + 1e-4 * t * std::min(descent, 0.0)) {
+        bool accepted =
+            cand.phi(nu) <= phi0 + 1e-4 * t * std::min(descent, 0.0);
+        // Maratos guard (see docs/SEED_FAILURES.md): on a curved constraint
+        // manifold the full step carries a second-order feasibility error,
+        // c(x+d) = O(‖d‖²). The ℓ1 merit then either rejects an excellent
+        // step outright (the classic Maratos stall) or accepts a sequence
+        // of steps that zigzag across the manifold without ever shrinking
+        // the violation. Both show up as the unit step failing to reduce
+        // infeasibility — so whenever that happens, restore feasibility
+        // with the least-norm correction p = Jᵀ·(J·Jᵀ)⁻¹·(−c(x+d)) and
+        // offer x + d + p to the same acceptance test. cand.c already
+        // holds c(x+d).
+        if (ls == 0 && options_.second_order_correction && !cand.c.empty() &&
+            (!accepted ||
+             cand.eq_l1 > std::max(0.5 * cur.eq_l1,
+                                   options_.constraint_tolerance)) &&
+            solve_least_norm_restoration(qp_.e_mat, cand.c, soc_jjt_, soc_lu_,
+                                         soc_rhs_, soc_lambda_, soc_p_)) {
+          num::copy_into(candidate_, soc_candidate_);
+          soc_candidate_.add_scaled(1.0, soc_p_);
+          MeritEval cand_soc =
+              evaluate_merit(problem, a_mat, b_vec, soc_candidate_, ax_);
+          if (cand_soc.phi(nu) <= phi0 + 1e-4 * std::min(descent, 0.0) &&
+              (!accepted || cand_soc.phi(nu) < cand.phi(nu))) {
+            num::copy_into(soc_candidate_, candidate_);
+            cand = std::move(cand_soc);
+            accepted = true;
+            ++result.soc_steps;
+          }
+        }
+        if (accepted) {
           stepped = true;
           break;
         }

@@ -50,6 +50,16 @@ struct SqpOptions {
   /// subproblem's multipliers (and an externally provided SqpWarmStart for
   /// the first one). Off reproduces fully cold QP solves.
   bool warm_start_duals = true;
+  /// Second-order correction against the Maratos effect: when the full QP
+  /// step is rejected by the merit test — or accepted without shrinking the
+  /// equality violation, the zigzag variant of the same pathology — solve
+  /// J·Jᵀ·λ = −c(x+d) for the least-norm feasibility restoration p = Jᵀ·λ
+  /// and offer x + d + p to the same acceptance test before backtracking.
+  /// Near a curved constraint manifold the full step trades a large cost
+  /// improvement for a quadratic feasibility loss; the correction removes
+  /// that loss so the unit step — and with it fast local convergence —
+  /// survives.
+  bool second_order_correction = true;
   QpOptions qp;
 };
 
@@ -65,6 +75,8 @@ struct SqpResult {
   double constraint_violation = 0.0;  ///< ‖c(x)‖∞ at the final iterate
   std::size_t iterations = 0;
   std::size_t qp_iterations_total = 0;
+  /// Line searches rescued by a second-order correction step.
+  std::size_t soc_steps = 0;
 
   bool usable() const { return status != SqpStatus::kQpFailure; }
 };
@@ -112,6 +124,12 @@ class SqpSolver {
   mutable QpWarmStart qp_warm_;
   mutable num::Vector candidate_;
   mutable num::Vector ax_;
+  // Second-order-correction scratch: J·Jᵀ and its factorization, the
+  // restoration multipliers, and the correction step p = Jᵀ·λ.
+  mutable num::Matrix soc_jjt_;
+  mutable num::LuFactorization soc_lu_;
+  mutable num::Vector soc_rhs_, soc_lambda_, soc_p_;
+  mutable num::Vector soc_candidate_;
 };
 
 std::string to_string(SqpStatus status);

@@ -1,0 +1,170 @@
+#include "runtime/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/experiment.hpp"
+#include "core/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/random.hpp"
+
+namespace evc::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+/// Quantile by partial sort: exact, destructive on `samples`.
+std::uint64_t quantile_ns(std::vector<std::uint64_t>& samples, double q) {
+  if (samples.empty()) return 0;
+  const std::size_t rank = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
+
+}  // namespace
+
+/// One concurrent lane: the reusable controller plus this lane's latency
+/// samples for the current run() call.
+struct FleetEngine::Slot {
+  std::unique_ptr<core::MpcClimateController> controller;
+  std::vector<std::uint64_t> step_ns;
+};
+
+FleetEngine::FleetEngine(core::EvParams params,
+                         const drive::DriveProfile& profile,
+                         FleetOptions options)
+    : params_(params), profile_(profile), options_(options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  vehicles_metric_ = reg.counter("fleet.vehicles");
+  steps_metric_ = reg.counter("fleet.steps");
+  step_ns_metric_ = reg.histogram("fleet.step_ns");
+  vehicles_per_sec_metric_ = reg.gauge("fleet.vehicles_per_sec");
+}
+
+FleetEngine::~FleetEngine() = default;
+
+FleetEngine::Slot& FleetEngine::acquire_slot() {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  if (!free_slots_.empty()) {
+    Slot* slot = free_slots_.back();
+    free_slots_.pop_back();
+    return *slot;
+  }
+  slots_.push_back(std::make_unique<Slot>());
+  Slot& slot = *slots_.back();
+  slot.controller = core::make_mpc_controller(params_, options_.mpc);
+  return slot;
+}
+
+void FleetEngine::release_slot(Slot& slot) {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  free_slots_.push_back(&slot);
+}
+
+FleetVehicleResult FleetEngine::run_vehicle(Slot& slot,
+                                            std::size_t index) const {
+  // Initial conditions come from the vehicle index alone — splitmix's own
+  // stream-advance constant spaces the seeds — so the draw is identical no
+  // matter which slot or thread serves the vehicle.
+  SplitMix64 rng(options_.seed + 0x9E3779B97F4A7C15ull *
+                                     static_cast<std::uint64_t>(index));
+  core::SimulationOptions sim_opts;
+  sim_opts.record_traces = false;
+  sim_opts.flight_recorder_capacity = 16;
+  sim_opts.initial_soc_percent = rng.uniform(options_.min_initial_soc_percent,
+                                             options_.max_initial_soc_percent);
+  sim_opts.initial_cabin_temp_c = rng.uniform(
+      options_.min_initial_cabin_temp_c, options_.max_initial_cabin_temp_c);
+
+  // The session borrows the slot's controller and resets it on
+  // construction, so controller reuse cannot leak state between vehicles.
+  core::SimulationSession session(params_, *slot.controller, profile_,
+                                  sim_opts);
+
+  FleetVehicleResult out;
+  out.initial_soc_percent = sim_opts.initial_soc_percent;
+  out.initial_cabin_temp_c = *sim_opts.initial_cabin_temp_c;
+
+  const std::size_t cap = options_.max_steps_per_vehicle == 0
+                              ? session.total_steps()
+                              : std::min(options_.max_steps_per_vehicle,
+                                         session.total_steps());
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  if (options_.collect_step_latency) {
+    for (std::size_t s = 0; s < cap; ++s) {
+      const Clock::time_point t0 = Clock::now();
+      session.advance();
+      const std::uint64_t ns = ns_between(t0, Clock::now());
+      slot.step_ns.push_back(ns);
+      reg.observe(step_ns_metric_, ns);
+    }
+  } else {
+    for (std::size_t s = 0; s < cap; ++s) session.advance();
+  }
+
+  out.steps = cap;
+  out.final_soc_percent = session.soc_percent();
+  out.final_cabin_temp_c = session.cabin_temp_c();
+  out.metrics = session.finish().metrics;
+  reg.add(vehicles_metric_);
+  reg.add(steps_metric_, cap);
+  return out;
+}
+
+FleetSummary FleetEngine::run(ThreadPool& pool) {
+  EVC_TRACE_SPAN_VAR(fleet_span, "fleet.run");
+  fleet_span.arg("vehicles", static_cast<double>(options_.vehicles));
+
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (auto& slot : slots_) slot->step_ns.clear();
+  }
+
+  FleetSummary summary;
+  summary.vehicles.resize(options_.vehicles);
+  const Clock::time_point start = Clock::now();
+  parallel_for(pool, options_.vehicles, [&](std::size_t i) {
+    Slot& slot = acquire_slot();
+    try {
+      summary.vehicles[i] = run_vehicle(slot, i);
+    } catch (...) {
+      release_slot(slot);
+      throw;
+    }
+    release_slot(slot);
+  });
+  summary.wall_ns = ns_between(start, Clock::now());
+
+  for (const FleetVehicleResult& v : summary.vehicles)
+    summary.total_steps += v.steps;
+  if (summary.wall_ns > 0)
+    summary.vehicles_per_second = static_cast<double>(options_.vehicles) /
+                                  (static_cast<double>(summary.wall_ns) * 1e-9);
+  obs::MetricsRegistry::global().set(vehicles_per_sec_metric_,
+                                     summary.vehicles_per_second);
+
+  if (options_.collect_step_latency) {
+    std::vector<std::uint64_t> all;
+    all.reserve(summary.total_steps);
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (const auto& slot : slots_)
+      all.insert(all.end(), slot->step_ns.begin(), slot->step_ns.end());
+    summary.step_p50_ns = quantile_ns(all, 0.50);
+    summary.step_p99_ns = quantile_ns(all, 0.99);
+    if (!all.empty()) summary.step_max_ns = *std::max_element(all.begin(), all.end());
+  }
+  return summary;
+}
+
+FleetSummary FleetEngine::run() { return run(ThreadPool::global()); }
+
+}  // namespace evc::rt

@@ -1,8 +1,10 @@
 #include "runtime/thread_pool.hpp"
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace evc::rt {
@@ -28,9 +30,15 @@ void ThreadPool::run_task(Task& task) {
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  if (const char* env = std::getenv("EVC_POOL_STEAL"))
+    steal_first_ = std::strcmp(env, "force") == 0;
+  steals_metric_ = obs::MetricsRegistry::global().counter("pool.steals");
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this]() { worker_loop(); });
+    workers_.emplace_back([this, i]() { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -53,24 +61,85 @@ void ThreadPool::submit(std::function<void()> task) {
   if (obs::Tracer::global().enabled())
     enqueue_ns = obs::Tracer::global().now_ns();
 #endif
+  const std::size_t idx =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[idx]->mutex);
+    queues_[idx]->tasks.push_back(Task{std::move(task), enqueue_ns});
+  }
+  // The count increments under the pool mutex so a worker that just
+  // evaluated the wait predicate cannot miss this task's notify.
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(Task{std::move(task), enqueue_ns});
+    task_count_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+bool ThreadPool::pop_own(std::size_t self, Task& out) {
+  WorkerQueue& q = *queues_[self];
+  std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.tasks.empty()) return false;
+  out = std::move(q.tasks.front());
+  q.tasks.pop_front();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t self, Task& out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t offset = 1; offset < n; ++offset) {
+    WorkerQueue& victim = *queues_[(self + offset) % n];
+#if !defined(EVC_OBS_NO_TRACING)
+    obs::Tracer& tracer = obs::Tracer::global();
+    const std::uint64_t start = tracer.enabled() ? tracer.now_ns() : 0;
+#endif
+    bool stolen = false;
+    {
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        // Steal from the back: the opposite end from the owner's pops, so
+        // a steal and an owner pop of a 2+ deep deque never want the same
+        // task, and the oldest work (most likely already cold) migrates.
+        out = std::move(victim.tasks.back());
+        victim.tasks.pop_back();
+        stolen = true;
+      }
+    }
+    if (stolen) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global().add(steals_metric_);
+#if !defined(EVC_OBS_NO_TRACING)
+      if (start != 0)
+        tracer.record_span("pool.steal", start, tracer.now_ns() - start,
+                           "victim",
+                           static_cast<double>((self + offset) % n));
+#endif
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::try_acquire(std::size_t self, Task& out) {
+  if (steal_first_)
+    return try_steal(self, out) || pop_own(self, out);
+  return pop_own(self, out) || try_steal(self, out);
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
   for (;;) {
     Task task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    if (try_acquire(self, task)) {
+      task_count_.fetch_sub(1, std::memory_order_relaxed);
+      run_task(task);
+      continue;
     }
-    run_task(task);
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] {
+      return stop_ || task_count_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_ && task_count_.load(std::memory_order_relaxed) <= 0)
+      return;  // stop requested and every submitted task claimed
   }
 }
 

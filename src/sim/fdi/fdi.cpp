@@ -132,10 +132,17 @@ void SensorFdi::commit(const hvac::HvacInputs& applied) {
 
   // Coulomb counting over the commanded electrical power: HVAC draw for
   // the applied actuation at the estimated temperatures, plus traction and
-  // accessory load.
+  // accessory load. `applied` was sanitized by the plant against the TRUE
+  // cabin/outside temps; power_for's non-negativity contract only holds
+  // when inputs and mixed temp share a frame, so re-sanitize against the
+  // estimates before evaluating power in the estimate frame (an applied
+  // coil temp riding the true mixed-temp boundary would otherwise read as
+  // negative cooling when the estimate is colder than the truth).
+  const hvac::HvacInputs est_frame =
+      power_model_.sanitize(applied, outside_est, cabin_est);
   const double mixed =
-      power_model_.mixed_temp(applied.recirculation, outside_est, cabin_est);
-  const double hvac_w = power_model_.power_for(applied, mixed).total();
+      power_model_.mixed_temp(est_frame.recirculation, outside_est, cabin_est);
+  const double hvac_w = power_model_.power_for(est_frame, mixed).total();
   const double total_w =
       hvac_w + last_motor_power_w_ + options_.accessory_power_w;
   pending_soc_ =

@@ -66,9 +66,13 @@ void BinaryWriter::write_string(const std::string& s) {
 }
 
 void BinaryWriter::write_f64_vec(const std::vector<double>& v) {
+  write_f64_seq(v.data(), v.size());
+}
+
+void BinaryWriter::write_f64_seq(const double* data, std::size_t n) {
   tag(kTagF64Vec);
-  write_u64(v.size());
-  for (double x : v) write_f64(x);
+  write_u64(n);
+  for (std::size_t i = 0; i < n; ++i) write_f64(data[i]);
 }
 
 void BinaryWriter::write_size_vec(const std::vector<std::size_t>& v) {

@@ -43,6 +43,9 @@ class BinaryWriter {
   void write_f64(double v);
   void write_string(const std::string& s);
   void write_f64_vec(const std::vector<double>& v);
+  /// Same wire format as write_f64_vec, from any contiguous double buffer
+  /// (the numerics containers use an aligned allocator, not std::vector).
+  void write_f64_seq(const double* data, std::size_t n);
   void write_size_vec(const std::vector<std::size_t>& v);
   /// Named group marker; the reader must consume it with expect_section.
   void section(const std::string& name);

@@ -1,0 +1,200 @@
+// FleetEngine determinism: an N-vehicle fleet must be byte-identical to N
+// serial single-vehicle runs, no matter how many workers serve it, which
+// slot a vehicle lands on, or whether the pool is forced to steal. The
+// serial reference below re-derives each vehicle's run from first
+// principles (fresh controller, the documented index-keyed seed stream), so
+// these tests also pin the seeding contract itself.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/simulation.hpp"
+#include "drivecycle/standard_cycles.hpp"
+#include "runtime/fleet.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace evc;
+
+rt::FleetOptions small_fleet_options(std::size_t vehicles) {
+  rt::FleetOptions opts;
+  opts.vehicles = vehicles;
+  opts.max_steps_per_vehicle = 6;
+  opts.seed = 77;
+  opts.mpc.horizon = 4;
+  opts.collect_step_latency = false;
+  return opts;
+}
+
+/// The serial reference: one fresh controller + session per vehicle,
+/// initial conditions drawn exactly as FleetEngine documents (seed keyed on
+/// the vehicle index alone).
+std::vector<rt::FleetVehicleResult> run_serial(
+    const core::EvParams& params, const drive::DriveProfile& profile,
+    const rt::FleetOptions& opts) {
+  std::vector<rt::FleetVehicleResult> out(opts.vehicles);
+  for (std::size_t i = 0; i < opts.vehicles; ++i) {
+    SplitMix64 rng(opts.seed +
+                   0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(i));
+    core::SimulationOptions sim_opts;
+    sim_opts.record_traces = false;
+    sim_opts.flight_recorder_capacity = 16;
+    sim_opts.initial_soc_percent =
+        rng.uniform(opts.min_initial_soc_percent, opts.max_initial_soc_percent);
+    sim_opts.initial_cabin_temp_c = rng.uniform(
+        opts.min_initial_cabin_temp_c, opts.max_initial_cabin_temp_c);
+
+    auto controller = core::make_mpc_controller(params, opts.mpc);
+    core::SimulationSession session(params, *controller, profile, sim_opts);
+    const std::size_t cap = opts.max_steps_per_vehicle == 0
+                                ? session.total_steps()
+                                : std::min(opts.max_steps_per_vehicle,
+                                           session.total_steps());
+    for (std::size_t s = 0; s < cap; ++s) session.advance();
+
+    out[i].initial_soc_percent = sim_opts.initial_soc_percent;
+    out[i].initial_cabin_temp_c = *sim_opts.initial_cabin_temp_c;
+    out[i].steps = cap;
+    out[i].final_soc_percent = session.soc_percent();
+    out[i].final_cabin_temp_c = session.cabin_temp_c();
+    out[i].metrics = session.finish().metrics;
+  }
+  return out;
+}
+
+/// Exact (==, not near) comparison of every double in the result. Any
+/// scheduling- or reuse-dependent drift shows up here.
+void expect_identical(const rt::FleetVehicleResult& a,
+                      const rt::FleetVehicleResult& b, std::size_t index) {
+  SCOPED_TRACE("vehicle " + std::to_string(index));
+  EXPECT_EQ(a.initial_soc_percent, b.initial_soc_percent);
+  EXPECT_EQ(a.initial_cabin_temp_c, b.initial_cabin_temp_c);
+  EXPECT_EQ(a.final_soc_percent, b.final_soc_percent);
+  EXPECT_EQ(a.final_cabin_temp_c, b.final_cabin_temp_c);
+  EXPECT_EQ(a.steps, b.steps);
+
+  const core::TripMetrics& ma = a.metrics;
+  const core::TripMetrics& mb = b.metrics;
+  EXPECT_EQ(ma.duration_s, mb.duration_s);
+  EXPECT_EQ(ma.distance_km, mb.distance_km);
+  EXPECT_EQ(ma.avg_motor_power_w, mb.avg_motor_power_w);
+  EXPECT_EQ(ma.avg_hvac_power_w, mb.avg_hvac_power_w);
+  EXPECT_EQ(ma.avg_total_power_w, mb.avg_total_power_w);
+  EXPECT_EQ(ma.hvac_energy_j, mb.hvac_energy_j);
+  EXPECT_EQ(ma.total_energy_j, mb.total_energy_j);
+  EXPECT_EQ(ma.initial_soc_percent, mb.initial_soc_percent);
+  EXPECT_EQ(ma.final_soc_percent, mb.final_soc_percent);
+  EXPECT_EQ(ma.stress.soc_deviation, mb.stress.soc_deviation);
+  EXPECT_EQ(ma.stress.soc_average, mb.stress.soc_average);
+  EXPECT_EQ(ma.delta_soh_percent, mb.delta_soh_percent);
+  EXPECT_EQ(ma.cycles_to_end_of_life, mb.cycles_to_end_of_life);
+  EXPECT_EQ(ma.consumption_wh_per_km, mb.consumption_wh_per_km);
+  EXPECT_EQ(ma.estimated_range_km, mb.estimated_range_km);
+  EXPECT_EQ(ma.comfort.fraction_outside, mb.comfort.fraction_outside);
+  EXPECT_EQ(ma.comfort.max_abs_error_c, mb.comfort.max_abs_error_c);
+  EXPECT_EQ(ma.comfort.rms_error_c, mb.comfort.rms_error_c);
+  EXPECT_EQ(ma.comfort.avg_ppd_percent, mb.comfort.avg_ppd_percent);
+}
+
+void expect_identical(const std::vector<rt::FleetVehicleResult>& serial,
+                      const std::vector<rt::FleetVehicleResult>& fleet) {
+  ASSERT_EQ(serial.size(), fleet.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    expect_identical(serial[i], fleet[i], i);
+}
+
+TEST(FleetEngineTest, MatchesSerialRunsAcrossPoolSizes) {
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kUdds, 35.0);
+  const core::EvParams params;
+  const rt::FleetOptions opts = small_fleet_options(12);
+  const auto serial = run_serial(params, profile, opts);
+
+  // 0 helpers = inline on the caller; larger pools exercise slot reuse and
+  // cross-worker distribution. Identity must hold for every size.
+  for (const std::size_t helpers : {0u, 1u, 3u, 7u}) {
+    SCOPED_TRACE("helpers=" + std::to_string(helpers));
+    rt::ThreadPool pool(helpers);
+    rt::FleetEngine engine(params, profile, opts);
+    const rt::FleetSummary summary = engine.run(pool);
+    expect_identical(serial, summary.vehicles);
+    EXPECT_EQ(summary.total_steps, opts.vehicles * opts.max_steps_per_vehicle);
+  }
+}
+
+TEST(FleetEngineTest, MatchesSerialUnderForcedStealing) {
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kUdds, 35.0);
+  const core::EvParams params;
+  const rt::FleetOptions opts = small_fleet_options(12);
+  const auto serial = run_serial(params, profile, opts);
+
+  // EVC_POOL_STEAL=force makes every worker scan victims before its own
+  // queue, so nearly every task executes on a thread other than the one it
+  // was placed on — the worst case for any hidden thread affinity.
+  ::setenv("EVC_POOL_STEAL", "force", 1);
+  {
+    rt::ThreadPool pool(4);
+    rt::FleetEngine engine(params, profile, opts);
+    const rt::FleetSummary summary = engine.run(pool);
+    expect_identical(serial, summary.vehicles);
+    EXPECT_GT(pool.steals(), 0u);
+  }
+  ::unsetenv("EVC_POOL_STEAL");
+}
+
+TEST(FleetEngineTest, Fleet1024MatchesSerial) {
+  // The acceptance-scale run: 1024 vehicles, trimmed to one step each so it
+  // stays unit-test cheap. 1024 vehicles over 4 slots is 256 reuses per
+  // controller — the deepest slot-reuse exercise in the suite.
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kUdds, 35.0);
+  const core::EvParams params;
+  rt::FleetOptions opts = small_fleet_options(1024);
+  opts.max_steps_per_vehicle = 1;
+  opts.mpc.horizon = 3;
+  const auto serial = run_serial(params, profile, opts);
+
+  rt::ThreadPool pool(3);
+  rt::FleetEngine engine(params, profile, opts);
+  const rt::FleetSummary summary = engine.run(pool);
+  expect_identical(serial, summary.vehicles);
+}
+
+TEST(FleetEngineTest, EngineReuseIsDeterministic) {
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kUdds, 35.0);
+  const core::EvParams params;
+  const rt::FleetOptions opts = small_fleet_options(6);
+
+  // Second run reuses the warm slots/controllers created by the first; the
+  // session reset on construction must make that invisible.
+  rt::ThreadPool pool(3);
+  rt::FleetEngine engine(params, profile, opts);
+  const rt::FleetSummary first = engine.run(pool);
+  const rt::FleetSummary second = engine.run(pool);
+  expect_identical(first.vehicles, second.vehicles);
+}
+
+TEST(FleetEngineTest, SummaryReportsThroughputAndLatency) {
+  const auto profile =
+      drive::make_cycle_profile(drive::StandardCycle::kUdds, 35.0);
+  const core::EvParams params;
+  rt::FleetOptions opts = small_fleet_options(4);
+  opts.collect_step_latency = true;
+
+  rt::ThreadPool pool(2);
+  rt::FleetEngine engine(params, profile, opts);
+  const rt::FleetSummary summary = engine.run(pool);
+  EXPECT_GT(summary.vehicles_per_second, 0.0);
+  EXPECT_GT(summary.step_p50_ns, 0u);
+  EXPECT_GE(summary.step_p99_ns, summary.step_p50_ns);
+  EXPECT_GE(summary.step_max_ns, summary.step_p99_ns);
+}
+
+}  // namespace

@@ -174,13 +174,11 @@ TEST_P(SqpCircle, ConvergesFromRingOfStarts) {
   const SqpSolver solver(opts);
   const SqpResult r = solver.solve(problem, x0);
   ASSERT_TRUE(r.usable()) << "angle " << angle;
-  // KNOWN SEED FAILURE for most angles (see docs/SEED_FAILURES.md): the
-  // ℓ1 merit line search stalls at ~1e-2 violation on this curved equality
-  // manifold — the Maratos effect (full SQP steps increase the merit even
-  // arbitrarily close to the optimum, so the step collapses and progress
-  // stops). Fixing it needs a second-order correction or a watchdog step
-  // in SqpSolver, not a tolerance change; the bound is kept strict so the
-  // failure stays visible until then.
+  // This curved equality manifold used to stall the ℓ1 merit line search
+  // at ~1e-2 violation (the Maratos effect — full SQP steps zigzag across
+  // the manifold without shrinking the violation). The second-order
+  // correction in SqpSolver fixes it; see docs/SEED_FAILURES.md for the
+  // history. The strict bound guards against regressing the correction.
   EXPECT_LT(r.constraint_violation, 1e-5) << "angle " << angle;
   // Global optimum (1,0) has cost 1; local max (−1,0) has cost 9. Accept
   // the global basin only for starts in the right half-ring.
