@@ -1,0 +1,117 @@
+// Closed-loop A/B of the two QP backends on the paper's drive cycle.
+//
+// The condensed active-set path is meant to be a *drop-in* fast path: per
+// subproblem it matches the sparse interior point to KKT tolerance
+// (tests/condensed_qp_test), and this bench checks the property that
+// actually matters downstream — that a full ECE_EUDC closed-loop run lands
+// on the same battery-health, comfort and energy numbers. Exits nonzero on
+// mismatch so CI can gate on it.
+//
+// Tolerances are loose relative to the per-solve 1e-8 agreement because the
+// MPC cost surface has near-flat directions: two certificates-equal QP
+// solutions can differ by ~1e-5 in coordinates, and a 3400 s receding-
+// horizon rollout integrates those differences. What must NOT drift is the
+// physics the controller delivers: state of health to a fraction of its
+// per-cycle delta, comfort to hundredths of a degree, energy to a fraction
+// of a percent.
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/simulation.hpp"
+#include "obs/trace.hpp"
+#include "optim/condensed_qp.hpp"
+
+namespace {
+
+struct RunResult {
+  evc::core::TripMetrics metrics;
+  evc::core::MpcPlanStats stats;
+  double wall_s = 0.0;
+};
+
+bool check_close(const char* what, double a, double b, double abs_tol,
+                 double rel_tol) {
+  const double tol = abs_tol + rel_tol * std::max(std::abs(a), std::abs(b));
+  if (std::abs(a - b) <= tol) return true;
+  std::cerr << "MISMATCH " << what << ": sparse=" << a << " condensed=" << b
+            << " |diff|=" << std::abs(a - b) << " tol=" << tol << "\n";
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  evc::obs::TraceEnvGuard trace_guard;
+  using namespace evc;
+  const core::EvParams params;
+  const auto profile = drive::make_cycle_profile(
+      drive::StandardCycle::kEceEudc, bench::kDefaultAmbientC);
+  core::ClimateSimulation sim(params);
+  core::SimulationOptions opts;
+  opts.record_traces = false;
+
+  RunResult runs[2];
+  const opt::QpBackend backends[2] = {opt::QpBackend::kSparse,
+                                      opt::QpBackend::kCondensed};
+  for (int i = 0; i < 2; ++i) {
+    std::cerr << "  backend = " << opt::to_string(backends[i]) << "...\n";
+    core::MpcOptions mpc_opts;
+    mpc_opts.sqp.backend = backends[i];
+    auto mpc = core::make_mpc_controller(params, mpc_opts);
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = sim.run(*mpc, profile, opts);
+    runs[i].wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    runs[i].metrics = result.metrics;
+    runs[i].stats = mpc->stats();
+  }
+
+  TextTable table({"backend", "avg HVAC [kW]", "dSoH [%/cycle]",
+                   "rms Tz err [C]", "plan failures", "condensed solves",
+                   "sim time [s]"});
+  for (int i = 0; i < 2; ++i) {
+    const auto& r = runs[i];
+    table.add_row({opt::to_string(backends[i]),
+                   TextTable::num(r.metrics.avg_hvac_power_w / 1000.0, 4),
+                   TextTable::num(r.metrics.delta_soh_percent, 6),
+                   TextTable::num(r.metrics.comfort.rms_error_c, 4),
+                   TextTable::num(r.stats.failures, 0),
+                   TextTable::num(r.stats.solver.condensed_solves, 0),
+                   TextTable::num(r.wall_s, 1)});
+  }
+  std::cout << table.render(
+      "Backend equivalence — sparse IPM vs condensed active set, ECE_EUDC");
+
+  const auto& s = runs[0];
+  const auto& c = runs[1];
+  bool ok = true;
+  // Sanity: the condensed run must actually have taken the fast path, and
+  // the sparse run must not have.
+  if (c.stats.solver.condensed_solves == 0) {
+    std::cerr << "MISMATCH: condensed backend never used the dense path\n";
+    ok = false;
+  }
+  if (s.stats.solver.condensed_solves != 0) {
+    std::cerr << "MISMATCH: sparse backend used the dense path\n";
+    ok = false;
+  }
+  ok &= check_close("avg_hvac_power_w", s.metrics.avg_hvac_power_w,
+                    c.metrics.avg_hvac_power_w, 0.0, 1e-2);
+  ok &= check_close("delta_soh_percent", s.metrics.delta_soh_percent,
+                    c.metrics.delta_soh_percent, 0.0, 5e-3);
+  ok &= check_close("comfort.rms_error_c", s.metrics.comfort.rms_error_c,
+                    c.metrics.comfort.rms_error_c, 0.01, 5e-3);
+  ok &= check_close("failures", static_cast<double>(s.stats.failures),
+                    static_cast<double>(c.stats.failures), 0.5, 0.0);
+
+  if (!ok) {
+    std::cerr << "backend equivalence FAILED\n";
+    return 1;
+  }
+  std::cout << "backend equivalence OK\n";
+  return 0;
+}

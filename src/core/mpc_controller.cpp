@@ -108,10 +108,30 @@ num::Vector MpcClimateController::warm_start(
   const num::Vector cold = formulation.cold_start();
   if (!last_solution_ || last_solution_->size() != cold.size()) return cold;
 
-  // Shift the previous plan one step forward; duplicate the tail.
   const MpcIndex& idx = formulation.index();
   const std::size_t n = idx.horizon();
   const num::Vector& prev = *last_solution_;
+
+  // Two candidate seeds: the previous plan shifted one step forward (right
+  // when the plant followed the plan and the window really advanced), or the
+  // previous plan held as-is (right when we are re-planning an effectively
+  // unchanged problem — the plant did not move to the predicted state, or an
+  // ensemble/test caller re-solves the same window). Pick by which one's
+  // initial state matches the measurement: starting the SQP from an iterate
+  // whose pinned states agree with the initial-state equalities is what lets
+  // a steady-state plan confirm in one iteration instead of re-contracting
+  // from a self-inflicted infeasibility.
+  const MpcWindowData& window = formulation.window();
+  const double temp_scale = 1.0, soc_scale = 1.0;
+  const double err_shift =
+      std::abs(window.initial_cabin_temp_c - prev[idx.x(1)]) / temp_scale +
+      std::abs(window.initial_soc_percent - prev[idx.soc(1)]) / soc_scale;
+  const double err_hold =
+      std::abs(window.initial_cabin_temp_c - prev[idx.x(0)]) / temp_scale +
+      std::abs(window.initial_soc_percent - prev[idx.soc(0)]) / soc_scale;
+  if (err_hold < err_shift) return prev;
+
+  // Shift the previous plan one step forward; duplicate the tail.
   num::Vector z = prev;
   for (std::size_t k = 0; k < n; ++k) {
     z[idx.x(k)] = prev[idx.x(std::min(k + 1, n))];
@@ -163,10 +183,17 @@ hvac::HvacInputs MpcClimateController::decide(
     obs::MetricsRegistry::Id failures;
     obs::MetricsRegistry::Id timeouts;
     obs::MetricsRegistry::Id solve_ns;
-  } metric_ids{obs::MetricsRegistry::global().counter("mpc.plans"),
-               obs::MetricsRegistry::global().counter("mpc.failures"),
-               obs::MetricsRegistry::global().counter("mpc.timeouts"),
-               obs::MetricsRegistry::global().histogram("mpc.plan.solve_ns")};
+    obs::MetricsRegistry::Id condensed_solves;
+    obs::MetricsRegistry::Id condense_rebuilds;
+    obs::MetricsRegistry::Id active_set_changes;
+  } metric_ids{
+      obs::MetricsRegistry::global().counter("mpc.plans"),
+      obs::MetricsRegistry::global().counter("mpc.failures"),
+      obs::MetricsRegistry::global().counter("mpc.timeouts"),
+      obs::MetricsRegistry::global().histogram("mpc.plan.solve_ns"),
+      obs::MetricsRegistry::global().counter("mpc.condensed.solves"),
+      obs::MetricsRegistry::global().counter("mpc.condensed.rebuilds"),
+      obs::MetricsRegistry::global().counter("mpc.condensed.active_set_changes")};
 
   const MpcWindowData window = make_window(context);
   MpcFormulation formulation(hvac_, battery_, options_.weights, window);
@@ -188,12 +215,27 @@ hvac::HvacInputs MpcClimateController::decide(
   stats_.solve_time_ns += last_step_solve_ns_;
   stats_.sqp_iterations += result.iterations;
   stats_.qp_iterations += result.qp_iterations_total;
+  // The workspace counters are cumulative; diff against the previous
+  // snapshot so the condensed-backend metrics see only this plan's work.
+  const opt::QpPerfCounters prev_counters = stats_.solver;
   stats_.solver = solver_.qp_counters();
   stats_.solver_workspace_bytes = solver_.workspace_bytes();
   plan_span.arg("sqp_iterations", static_cast<double>(result.iterations));
   obs::MetricsRegistry::global().add(metric_ids.plans);
   obs::MetricsRegistry::global().observe(metric_ids.solve_ns,
                                          last_step_solve_ns_);
+  if (stats_.solver.condensed_solves > prev_counters.condensed_solves)
+    obs::MetricsRegistry::global().add(
+        metric_ids.condensed_solves,
+        stats_.solver.condensed_solves - prev_counters.condensed_solves);
+  if (stats_.solver.condense_rebuilds > prev_counters.condense_rebuilds)
+    obs::MetricsRegistry::global().add(
+        metric_ids.condense_rebuilds,
+        stats_.solver.condense_rebuilds - prev_counters.condense_rebuilds);
+  if (stats_.solver.active_set_changes > prev_counters.active_set_changes)
+    obs::MetricsRegistry::global().add(
+        metric_ids.active_set_changes,
+        stats_.solver.active_set_changes - prev_counters.active_set_changes);
 
   // Branch on the structured solver outcome — a numerical failure is never
   // applied, and a timeout / iteration-capped iterate is applied only if it
@@ -240,6 +282,19 @@ hvac::HvacInputs MpcClimateController::decide(
     input.coil_temp_c = result.x[idx.tc(0)];
     input.recirculation = result.x[idx.dr(0)];
     input.air_flow_kg_s = result.x[idx.mz(0)];
+    // Saturate to the actuator box (C1/C5/C6/C7) before commanding the
+    // plant. The interior point returns strictly interior iterates and
+    // passes through bit-unchanged; the condensed backend solves the
+    // *cached* linearization (reused while within drift_tolerance), so a
+    // boundary-active input can overshoot the true bound by ~drift·|x| —
+    // an epsilon that must not leak into actuation.
+    input.supply_temp_c =
+        std::min(input.supply_temp_c, hvac_.max_supply_temp_c);
+    input.coil_temp_c = std::max(input.coil_temp_c, hvac_.min_coil_temp_c);
+    input.recirculation =
+        std::clamp(input.recirculation, 0.0, hvac_.max_recirculation);
+    input.air_flow_kg_s = std::clamp(
+        input.air_flow_kg_s, hvac_.min_air_flow_kg_s, hvac_.max_air_flow_kg_s);
     last_solution_ = result.x;
     last_duals_.y_eq = result.y_eq;
     last_duals_.z_ineq = result.z_ineq;
@@ -290,6 +345,9 @@ void save_qp_counters(BinaryWriter& w, const opt::QpPerfCounters& c) {
   w.write_size(c.warm_starts);
   w.write_size(c.workspace_growths);
   w.write_size(c.peak_workspace_bytes);
+  w.write_size(c.condensed_solves);
+  w.write_size(c.condense_rebuilds);
+  w.write_size(c.active_set_changes);
   w.write_u64(c.solve_time_ns);
   w.write_u64(c.factorize_time_ns);
   w.write_u64(c.timeout_time_ns);
@@ -307,6 +365,9 @@ opt::QpPerfCounters load_qp_counters(BinaryReader& r) {
   c.warm_starts = r.read_size();
   c.workspace_growths = r.read_size();
   c.peak_workspace_bytes = r.read_size();
+  c.condensed_solves = r.read_size();
+  c.condense_rebuilds = r.read_size();
+  c.active_set_changes = r.read_size();
   c.solve_time_ns = r.read_u64();
   c.factorize_time_ns = r.read_u64();
   c.timeout_time_ns = r.read_u64();
@@ -345,6 +406,11 @@ void MpcClimateController::save_state(BinaryWriter& writer) const {
   writer.write_size(stats_.rejected_plans);
   save_qp_counters(writer, solver_.qp_counters());
   writer.write_size(stats_.solver_workspace_bytes);
+
+  // Condensed-backend cache (prediction matrices): restoring it keeps the
+  // resumed run's rebuild counters identical to an uninterrupted one.
+  writer.section("mpc_backend");
+  solver_.save_backend_state(writer);
 }
 
 void MpcClimateController::load_state(BinaryReader& reader) {
@@ -386,6 +452,9 @@ void MpcClimateController::load_state(BinaryReader& reader) {
   stats_.solver = load_qp_counters(reader);
   solver_.restore_qp_counters(stats_.solver);
   stats_.solver_workspace_bytes = reader.read_size();
+
+  reader.expect_section("mpc_backend");
+  solver_.load_backend_state(reader);
 }
 
 void MpcClimateController::fill_flight_record(

@@ -38,6 +38,7 @@
 
 #include "battery/battery_params.hpp"
 #include "hvac/hvac_params.hpp"
+#include "optim/condensed_qp.hpp"
 #include "optim/nlp.hpp"
 
 namespace evc::core {
@@ -124,6 +125,12 @@ class MpcFormulation : public opt::NlpProblem {
   num::Matrix eq_jacobian(const num::Vector& z) const override;
   const num::Matrix& ineq_matrix() const override { return a_mat_; }
   const num::Vector& ineq_vector() const override { return b_vec_; }
+  /// Elimination order for the condensed backend: the dynamics rows solve
+  /// for the dependent trajectory (states, mixed-air temperature, powers,
+  /// SoC), leaving the 5N true decisions (Ts, Tc, dr, mz, slack) free.
+  const opt::CondensingPlan* condensing_plan() const override {
+    return &plan_;
+  }
 
   /// A physically consistent starting point: cabin/SoC held at their
   /// initial values, coils idle, minimum flow, all auxiliaries consistent
@@ -132,6 +139,9 @@ class MpcFormulation : public opt::NlpProblem {
 
   /// SoC discharge coefficient κ (percent per kW per second).
   double soc_per_kw_s() const { return kappa_; }
+
+  /// The boundary data this window was built from (warm-start alignment).
+  const MpcWindowData& window() const { return window_; }
 
  private:
   void build_cost();
@@ -153,6 +163,7 @@ class MpcFormulation : public opt::NlpProblem {
   num::Vector gradient_const_;
   num::Matrix a_mat_;
   num::Vector b_vec_;
+  opt::CondensingPlan plan_;
 };
 
 }  // namespace evc::core

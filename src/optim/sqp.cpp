@@ -196,26 +196,40 @@ SqpResult SqpSolver::solve(const NlpProblem& problem, const num::Vector& x0,
       qp_seed = &qp_warm_;
     }
 
+    // A usable result must also be finite — a diverged iterate poisons the
+    // line search otherwise.
+    const auto finite_result = [n](const QpResult& r) {
+      if (!r.usable()) return false;
+      for (std::size_t i = 0; i < n; ++i)
+        if (!std::isfinite(r.x[i])) return false;
+      return true;
+    };
+
     QpResult qp_result;
-    double extra_reg = options_.hessian_regularization;
-    for (int attempt = 0; attempt < 5; ++attempt) {
-      qp_result = solve_qp(qp_, qp_opts, qp_ws_, qp_seed);
-      // A usable result must also be finite — a diverged interior point
-      // iterate poisons the line search otherwise.
-      bool finite = qp_result.usable();
-      if (finite)
-        for (std::size_t i = 0; i < n; ++i)
-          if (!std::isfinite(qp_result.x[i])) {
-            finite = false;
-            break;
-          }
-      if (finite) break;
-      qp_result.status = QpStatus::kNumericalIssue;
-      // Singular or diverging KKT: convexify harder and retry (cold — the
-      // warm seed did not help this subproblem).
-      qp_seed = nullptr;
-      extra_reg = std::max(extra_reg * 100.0, 1e-6);
-      for (std::size_t i = 0; i < n; ++i) qp_.h(i, i) += extra_reg;
+    bool solved = false;
+    // Condensed fast path: one attempt against the pristine subproblem.
+    // Anything it cannot handle — no plan, stale structure, active-set
+    // breakdown — falls through to the interior-point loop below, whose
+    // regularize-and-retry covers the condensed failure modes too.
+    if (options_.backend != QpBackend::kSparse) {
+      if (const CondensingPlan* plan = problem.condensing_plan()) {
+        qp_result = condensed_.solve(qp_, *plan, options_.condensed,
+                                     qp_ws_.counters_mut(), qp_seed);
+        solved = finite_result(qp_result);
+      }
+    }
+    if (!solved) {
+      double extra_reg = options_.hessian_regularization;
+      for (int attempt = 0; attempt < 5; ++attempt) {
+        qp_result = solve_qp(qp_, qp_opts, qp_ws_, qp_seed);
+        if (finite_result(qp_result)) break;
+        qp_result.status = QpStatus::kNumericalIssue;
+        // Singular or diverging KKT: convexify harder and retry (cold — the
+        // warm seed did not help this subproblem).
+        qp_seed = nullptr;
+        extra_reg = std::max(extra_reg * 100.0, 1e-6);
+        for (std::size_t i = 0; i < n; ++i) qp_.h(i, i) += extra_reg;
+      }
     }
     if (!qp_result.usable()) {
       result.status = SqpStatus::kQpFailure;
@@ -313,21 +327,30 @@ SqpResult SqpSolver::solve(const NlpProblem& problem, const num::Vector& x0,
                             : SqpStatus::kMaxIterations;
       break;
     }
+    // Merit stagnation at a feasible iterate: converged for all practical
+    // purposes — don't burn the remaining iterations. When the *pre-step*
+    // iterate is itself feasible, converge there and discard the step: it
+    // bought no merit, and keeping the iterate bit-identical makes a
+    // steady-state replan a true fixed point — the next solve linearizes at
+    // the same point, registers zero drift, and rides the condensed cache
+    // instead of rebuilding over a microscopic creep.
+    const double phi_new = cand.phi(nu);
+    if (phi0 - phi_new <= 1e-7 * (1.0 + std::abs(phi_new)) &&
+        cand.eq_inf <= options_.constraint_tolerance &&
+        cand.ineq_inf <= options_.constraint_tolerance) {
+      if (!(cur.eq_inf <= options_.constraint_tolerance &&
+            cur.ineq_inf <= options_.constraint_tolerance)) {
+        result.x = candidate_;
+        cur = std::move(cand);
+      }
+      result.status = SqpStatus::kConverged;
+      break;
+    }
     result.x = candidate_;
     // The accepted candidate's evaluation becomes the next iteration's φ0 —
     // no re-evaluation of cost/constraints at the same point.
     cur = std::move(cand);
     result.status = SqpStatus::kMaxIterations;  // until proven converged
-
-    // Merit stagnation at a feasible iterate: converged for all practical
-    // purposes — don't burn the remaining iterations.
-    const double phi_new = cur.phi(nu);
-    if (phi0 - phi_new <= 1e-7 * (1.0 + std::abs(phi_new)) &&
-        cur.eq_inf <= options_.constraint_tolerance &&
-        cur.ineq_inf <= options_.constraint_tolerance) {
-      result.status = SqpStatus::kConverged;
-      break;
-    }
   }
 
   sqp_span.arg("iterations", static_cast<double>(result.iterations));

@@ -26,7 +26,8 @@ namespace evc::sim {
 
 /// Bumped whenever the payload layout changes incompatibly.
 /// v2: flight-recorder ring + per-step solver effort in the MPC section.
-inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
+/// v3: condensed-QP counters + backend cache section in the MPC section.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 3;
 
 class Checkpoint {
  public:
